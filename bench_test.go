@@ -1,0 +1,353 @@
+// Package rap_test holds the paper-reproduction benchmark harness: one
+// testing.B benchmark per evaluation table and figure (see DESIGN.md §3
+// for the index). Each benchmark regenerates its artifact and reports
+// the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The heavyweight full grids live
+// behind -bench=Full.
+package rap_test
+
+import (
+	"testing"
+
+	"rap/internal/baselines"
+	"rap/internal/experiments"
+	"rap/internal/fusion"
+	"rap/internal/gpusim"
+	"rap/internal/rap"
+)
+
+// BenchmarkFigure1a regenerates the training-utilization trace.
+func BenchmarkFigure1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.IterLatency, "iter_us")
+	}
+}
+
+// BenchmarkFigure1b regenerates the NGram-size utilization study.
+func BenchmarkFigure1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].SMUtil*100, "max_sm_util_pct")
+	}
+}
+
+// BenchmarkFigure1c regenerates the MLP/NGram contention study.
+func BenchmarkFigure1c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].StretchFactor, "max_stretch_x")
+	}
+}
+
+// BenchmarkFigure5 regenerates the latency-abstraction validation.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Rows)), "probes")
+	}
+}
+
+// BenchmarkTable5 trains and evaluates the latency predictor (Table 5).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, acc := range r.Accuracy {
+			if acc < worst {
+				worst = acc
+			}
+		}
+		b.ReportMetric(worst*100, "worst_cat_acc_pct")
+	}
+}
+
+// BenchmarkFigure9 runs the reduced end-to-end throughput grid; the
+// paper's full grid is BenchmarkFigure9Full.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(experiments.QuickFigure9())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := r.Speedups()
+		b.ReportMetric(sp[baselines.SystemSequential], "rap_vs_sequential_x")
+		b.ReportMetric(sp[baselines.SystemIdeal], "rap_vs_ideal_x")
+	}
+}
+
+// BenchmarkFigure9Full runs the paper's full grid: plans 0-3 × batch
+// {4096, 8192} × {2,4,8} GPUs × six systems. Slow (minutes).
+func BenchmarkFigure9Full(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full grid is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(experiments.DefaultFigure9())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := r.Speedups()
+		b.ReportMetric(sp[baselines.SystemSequential], "rap_vs_sequential_x")
+		b.ReportMetric(sp[baselines.SystemStream], "rap_vs_stream_x")
+		b.ReportMetric(sp[baselines.SystemMPS], "rap_vs_mps_x")
+		b.ReportMetric(sp[baselines.SystemTorchArrow], "rap_vs_torcharrow_x")
+		b.ReportMetric(sp[baselines.SystemIdeal], "rap_vs_ideal_x")
+	}
+}
+
+// BenchmarkFigure10 runs the ablation breakdown on plan 1.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10([]int{1}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GapFromIdeal()*100, "rap_gap_from_ideal_pct")
+	}
+}
+
+// BenchmarkFigure10Full runs the paper's plans 1-3 on 8 GPUs.
+func BenchmarkFigure10Full(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full breakdown is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10([]int{1, 2, 3}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GapFromIdeal()*100, "rap_gap_from_ideal_pct")
+	}
+}
+
+// BenchmarkFigure11 sweeps the added-NGram workload (reduced sweep) and
+// derives Table 4 from the same run.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11([]int{0, 32, 96}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t4 := experiments.Table4(r)
+		b.ReportMetric(t4.Rows[experiments.F11RAP].SMUtil*100, "rap_sm_util_pct")
+	}
+}
+
+// BenchmarkFigure11Full runs the paper-scale sweep on 4 GPUs.
+func BenchmarkFigure11Full(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full sweep is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(nil, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tp := r.TurningPoint[experiments.F11RAP]
+		if tp < 0 {
+			tp = len(r.Sweep)
+		}
+		b.ReportMetric(float64(tp), "rap_turning_idx")
+	}
+}
+
+// BenchmarkFigure12 runs the mapping-adaptability study.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Reduction(rap.MapDataParallel), "exposed_reduction_vs_dp_x")
+		b.ReportMetric(r.Reduction(rap.MapDataLocality), "exposed_reduction_vs_dl_x")
+	}
+}
+
+// BenchmarkPlanSearch measures RAP's online optimization pass itself
+// (capacity profiling + mapping search + MILP fusion + Algorithm 1) —
+// the cost the paper's §10 calls "lightweight, taking only minutes" at
+// datacenter scale.
+func BenchmarkPlanSearch(b *testing.B) {
+	w, err := rap.NewWorkload(rap.Terabyte, 1, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := rap.New(w, clusterCfg(4))
+		if _, err := f.BuildPlan(rap.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalStep measures one real hybrid-parallel training
+// step including full preprocessing (data-level, small model).
+func BenchmarkFunctionalStep(b *testing.B) {
+	w, err := rap.NewWorkload(rap.Kaggle, 0, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := w.ShrinkForFunctional()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rap.RunFunctional(fw, 2, 64, 1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// clusterCfg builds the standard benchmark cluster.
+func clusterCfg(gpus int) gpusim.ClusterConfig {
+	return gpusim.ClusterConfig{NumGPUs: gpus, HostCores: 48}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationFusionSolver compares the MILP branch & bound against
+// the level-greedy warm start on the per-GPU fusion problems of plan 2:
+// reported metric is the mean objective improvement (Σ degree²).
+func BenchmarkAblationFusionSolver(b *testing.B) {
+	w, err := rap.NewWorkload(rap.Terabyte, 2, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape := w.Plan.Shape(4096)
+	// One GPU's share of the graphs.
+	graphs := w.Plan.Graphs[:len(w.Plan.Graphs)/4]
+	for i := 0; i < b.N; i++ {
+		milpPlan, err := fusion.PlanFusion(graphs, shape, fusion.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy, err := fusion.PlanFusion(graphs, shape, fusion.Options{GreedyOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if milpPlan.Objective < greedy.Objective {
+			b.Fatalf("MILP (%d) worse than greedy (%d)", milpPlan.Objective, greedy.Objective)
+		}
+		b.ReportMetric(float64(milpPlan.Objective), "milp_objective")
+		b.ReportMetric(float64(greedy.Objective), "greedy_objective")
+	}
+}
+
+// BenchmarkAblationInterleaving measures §6.3 inter-batch workload
+// interleaving on/off (plan 1, 4 GPUs).
+func BenchmarkAblationInterleaving(b *testing.B) {
+	w, err := rap.NewWorkload(rap.Terabyte, 1, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		f := rap.New(w, clusterCfg(4))
+		on, err := f.BuildPlan(rap.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		onStats, err := f.Execute(on, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := f.BuildPlan(rap.BuildOptions{NoInterleave: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		offStats, err := f.Execute(off, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(onStats.Throughput/offStats.Throughput, "interleave_gain_x")
+	}
+}
+
+// BenchmarkAblationSharding measures resource-aware kernel sharding
+// on/off (plan 2, 4 GPUs): without sharding, fused kernels that exceed a
+// stage's headroom cannot be placed and are exposed.
+func BenchmarkAblationSharding(b *testing.B) {
+	w, err := rap.NewWorkload(rap.Terabyte, 2, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		f := rap.New(w, clusterCfg(4))
+		on, err := f.BuildPlan(rap.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		onStats, err := f.Execute(on, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := f.BuildPlan(rap.BuildOptions{NoSharding: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		offStats, err := f.Execute(off, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(onStats.Throughput/offStats.Throughput, "sharding_gain_x")
+	}
+}
+
+// BenchmarkAblationCapacitySafety sweeps nothing at runtime (the safety
+// factor is a compile-time constant) but quantifies how close the
+// capacity estimator's budget is to what the executed pipeline actually
+// hides, validating the §5 cost model end to end.
+func BenchmarkAblationCostModelFidelity(b *testing.B) {
+	w, err := rap.NewWorkload(rap.Terabyte, 1, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		f := rap.New(w, clusterCfg(4))
+		p, err := f.BuildPlan(rap.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := f.Execute(p, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		predicted := p.TotalPredictedExposed()
+		actual := stats.SteadyIterLatency - stats.TrainOnlyLatency
+		if actual < 0 {
+			actual = 0
+		}
+		b.ReportMetric(predicted, "predicted_exposed_us")
+		b.ReportMetric(actual, "actual_exposed_us")
+	}
+}
+
+// BenchmarkPowerStudy regenerates the §2.1 power-motivation study:
+// energy per trained sample under CPU-tier preprocessing vs RAP.
+func BenchmarkPowerStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PowerStudy(1, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.EnergySaving(), "energy_saving_x")
+	}
+}

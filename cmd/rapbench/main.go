@@ -1,0 +1,121 @@
+// Command rapbench regenerates the RAP paper's evaluation tables and
+// figures on the simulated substrate.
+//
+// Usage:
+//
+//	rapbench -exp all                # everything (Figure 9 full grid is slow)
+//	rapbench -exp fig9 -quick        # reduced Figure 9 grid
+//	rapbench -exp fig1a,fig11,tab4   # comma-separated subset
+//	rapbench -list                   # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rap/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
+	quick := flag.Bool("quick", false, "reduced grids for slow experiments")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	ids := []string{"fig1a", "fig1b", "fig1c", "fig5", "tab5", "fig9", "fig10", "fig11", "tab4", "fig12", "power"}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, id := range ids {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "rapbench: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	show := func(id string, r renderer, err error) {
+		if err != nil {
+			fail(id, err)
+		}
+		fmt.Printf("==================== %s ====================\n%s\n", id, r.Render())
+	}
+
+	if want["fig1a"] {
+		r, err := experiments.Figure1a()
+		show("fig1a", r, err)
+	}
+	if want["fig1b"] {
+		r, err := experiments.Figure1b()
+		show("fig1b", r, err)
+	}
+	if want["fig1c"] {
+		r, err := experiments.Figure1c()
+		show("fig1c", r, err)
+	}
+	if want["fig5"] {
+		r, err := experiments.Figure5()
+		show("fig5", r, err)
+	}
+	if want["tab5"] {
+		r, err := experiments.Table5()
+		show("tab5", r, err)
+	}
+	if want["fig9"] {
+		cfg := experiments.DefaultFigure9()
+		if *quick {
+			cfg = experiments.QuickFigure9()
+		}
+		r, err := experiments.Figure9(cfg)
+		show("fig9", r, err)
+	}
+	if want["fig10"] {
+		plans := []int{1, 2, 3}
+		gpus := 8
+		if *quick {
+			plans, gpus = []int{1}, 4
+		}
+		r, err := experiments.Figure10(plans, gpus)
+		show("fig10", r, err)
+	}
+	if want["fig11"] || want["tab4"] {
+		sweep := []int{0, 8, 16, 32, 64, 96, 128}
+		gpus := 4
+		if *quick {
+			sweep, gpus = []int{0, 32, 96}, 2
+		}
+		r, err := experiments.Figure11(sweep, gpus)
+		if err != nil {
+			fail("fig11", err)
+		}
+		if want["fig11"] {
+			show("fig11", r, nil)
+		}
+		if want["tab4"] {
+			show("tab4", experiments.Table4(r), nil)
+		}
+	}
+	if want["fig12"] {
+		r, err := experiments.Figure12(4)
+		show("fig12", r, err)
+	}
+	if want["power"] {
+		r, err := experiments.PowerStudy(1, 4)
+		show("power", r, err)
+	}
+}

@@ -1,0 +1,49 @@
+// Command rapdata materializes a synthetic Criteo-shaped dataset on disk
+// as sharded rapcol containers — the data-storage-node tier of the
+// paper's Figure 2 pipeline. raptrain -data <dir> streams from it.
+//
+// Usage:
+//
+//	rapdata -out /tmp/criteo -dataset terabyte -plan 1 -batches 64 -samples 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rap/internal/data"
+	"rap/internal/rap"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	dataset := flag.String("dataset", "terabyte", "kaggle | terabyte")
+	plan := flag.Int("plan", 1, "preprocessing plan index 0-3 (sets the feature shape)")
+	batches := flag.Int("batches", 32, "number of batches to generate")
+	samples := flag.Int("samples", 1024, "samples per batch")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "rapdata: -out is required")
+		os.Exit(2)
+	}
+	w, err := rap.NewWorkload(rap.Dataset(*dataset), *plan, *samples, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := data.WriteDataset(*out, w.Gen, *batches, *samples); err != nil {
+		fatal(err)
+	}
+	ds, err := data.OpenDataset(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d batches × %d samples (%d dense + %d sparse features) in %d shards to %s\n",
+		ds.Meta.Batches, ds.Meta.SamplesPerBatch, w.Gen.NumDense, w.Gen.NumSparse, len(ds.Meta.Shards), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapdata:", err)
+	os.Exit(1)
+}

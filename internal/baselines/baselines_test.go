@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"testing"
+
+	"rap/internal/gpusim"
+	"rap/internal/rap"
+)
+
+func run(t *testing.T, sys System, plan, gpus int) RunResult {
+	t.Helper()
+	ds := rap.Terabyte
+	if plan == 0 {
+		ds = rap.Kaggle
+	}
+	w, err := rap.NewWorkload(ds, plan, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(sys, w, gpusim.ClusterConfig{NumGPUs: gpus, HostCores: 48}, 8)
+	if err != nil {
+		t.Fatalf("%s: %v", sys, err)
+	}
+	if r.Throughput <= 0 || r.IterLatency <= 0 {
+		t.Fatalf("%s: empty result %+v", sys, r)
+	}
+	return r
+}
+
+func TestAllSystemsRun(t *testing.T) {
+	for _, sys := range AllSystems() {
+		r := run(t, sys, 1, 2)
+		if r.System != sys {
+			t.Fatalf("system label mismatch: %s", r.System)
+		}
+	}
+	if len(AllSystems()) != 6 {
+		t.Fatalf("systems = %d", len(AllSystems()))
+	}
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	w, err := rap.NewWorkload(rap.Kaggle, 0, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("nope", w, gpusim.ClusterConfig{NumGPUs: 2}, 4); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestPaperOrdering(t *testing.T) {
+	// The §8.2 ordering on plan 1, 4 GPUs:
+	// TorchArrow < Sequential < Stream < MPS < RAP ≤ Ideal.
+	thr := map[System]float64{}
+	for _, sys := range AllSystems() {
+		thr[sys] = run(t, sys, 1, 4).Throughput
+	}
+	order := []System{SystemTorchArrow, SystemSequential, SystemStream, SystemMPS, SystemRAP}
+	for i := 1; i < len(order); i++ {
+		if thr[order[i]] <= thr[order[i-1]] {
+			t.Fatalf("%s (%.0f) should beat %s (%.0f)",
+				order[i], thr[order[i]], order[i-1], thr[order[i-1]])
+		}
+	}
+	if thr[SystemRAP] > thr[SystemIdeal]*1.001 {
+		t.Fatal("RAP exceeded the ideal bound")
+	}
+	if thr[SystemRAP] < 0.9*thr[SystemIdeal] {
+		t.Fatalf("RAP too far from ideal: %.0f vs %.0f", thr[SystemRAP], thr[SystemIdeal])
+	}
+}
+
+func TestTorchArrowSaturatesWithGPUs(t *testing.T) {
+	// The CPU pool bounds TorchArrow: 2→4 GPUs helps, 4→8 helps much
+	// less than 2× (the paper's "limited improvement" scaling).
+	t2 := run(t, SystemTorchArrow, 1, 2).Throughput
+	t4 := run(t, SystemTorchArrow, 1, 4).Throughput
+	t8 := run(t, SystemTorchArrow, 1, 8).Throughput
+	if t4 <= t2 {
+		t.Fatalf("2→4 GPUs should help TorchArrow: %.0f vs %.0f", t4, t2)
+	}
+	if t8/t4 > 1.6 {
+		t.Fatalf("4→8 GPUs scaled %.2fx — CPU pool should saturate", t8/t4)
+	}
+	// RAP keeps scaling where TorchArrow cannot.
+	r4 := run(t, SystemRAP, 1, 4).Throughput
+	r8 := run(t, SystemRAP, 1, 8).Throughput
+	if r8/r4 < 1.6 {
+		t.Fatalf("RAP scaling broke: %.2fx", r8/r4)
+	}
+}

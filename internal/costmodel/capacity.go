@@ -1,0 +1,123 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"rap/internal/dlrm"
+	"rap/internal/gpusim"
+)
+
+// StageCapacity is the measured overlapping capacity of one DLRM
+// training stage (§5.1): how many µs of standalone preprocessing latency
+// can co-run with it without stretching it beyond tolerance.
+type StageCapacity struct {
+	Index int
+	Name  string
+	// Duration is the stage's solo latency (µs).
+	Duration float64
+	// Leftover is the GPU resource headroom while the stage runs; a
+	// co-running kernel whose demand fits inside it is contention-free.
+	Leftover gpusim.Demand
+	// Capacity is the measured overlapping capacity in standalone-
+	// preprocessing-latency µs (the paper's latency-based abstraction).
+	Capacity float64
+}
+
+// Tolerance is the acceptable relative stretch of a training stage used
+// when probing capacity (the "without extending the total latency"
+// criterion, with measurement slack).
+const Tolerance = 0.03
+
+// SafetyFactor discounts the probed capacity before scheduling against
+// it: probing tolerates a small stretch, but planning at 100% of the
+// tolerant measurement would bake a systematic per-stage spill into the
+// pipeline.
+const SafetyFactor = 0.9
+
+// EstimateCapacities profiles every training stage of GPU gpu by
+// co-running probe preprocessing kernels against it in an isolated
+// simulation and binary-searching the largest hidden probe (§5.1's
+// profiling step, replacing hardware measurement). Communication stages
+// leave the whole GPU idle, so their capacity is their duration.
+func EstimateCapacities(cfg dlrm.Config, pl dlrm.Placement, gpu int, cluster gpusim.ClusterConfig) ([]StageCapacity, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if gpu < 0 || gpu >= pl.NumGPUs {
+		return nil, fmt.Errorf("costmodel: gpu %d out of range", gpu)
+	}
+	cluster = cluster.WithDefaults()
+	stages := cfg.IterationStages(gpu, pl)
+	out := make([]StageCapacity, len(stages))
+	for i, st := range stages {
+		sc := StageCapacity{Index: i, Name: st.Name}
+		if st.Kind == dlrm.StageComm {
+			sc.Duration = st.SoloLatency(cluster.LinkGBs)
+			sc.Leftover = gpusim.Demand{SM: 1, MemBW: 1}
+			sc.Capacity = sc.Duration
+			out[i] = sc
+			continue
+		}
+		sc.Duration = st.Kernel.SoloLatency()
+		sc.Leftover = gpusim.Demand{
+			SM:    math.Max(0, 1-st.Kernel.Demand.SM),
+			MemBW: math.Max(0, 1-st.Kernel.Demand.MemBW),
+		}
+		sc.Capacity = SafetyFactor * probeCapacity(st.Kernel, sc.Leftover, cluster)
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// probeCapacity binary-searches the largest probe work (µs of standalone
+// preprocessing latency) that co-runs with the stage kernel while (a)
+// the stage stretches by at most Tolerance and (b) the probe finishes
+// before the stage does (fully hidden).
+func probeCapacity(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.ClusterConfig) float64 {
+	solo := stage.SoloLatency()
+	probeDemand := gpusim.Demand{SM: leftover.SM * 0.95, MemBW: leftover.MemBW * 0.95}
+	if probeDemand.SM <= 0 && probeDemand.MemBW <= 0 {
+		return 0
+	}
+	fits := func(work float64) bool {
+		sim := gpusim.NewSim(gpusim.ClusterConfig{NumGPUs: 1, Policy: gpusim.FairShare,
+			LinkGBs: cluster.LinkGBs, CopyGBs: cluster.CopyGBs})
+		s := sim.AddKernel(0, stage)
+		p := sim.AddKernel(0, gpusim.Kernel{
+			Name: "probe", Work: work, Demand: probeDemand, Tag: "preproc",
+		})
+		res, err := sim.Run()
+		if err != nil {
+			return false
+		}
+		stRes, pRes := res.OpByID(s), res.OpByID(p)
+		return stRes.Latency() <= solo*(1+Tolerance) && pRes.End <= stRes.End+solo*Tolerance
+	}
+	lo, hi := 0.0, solo*1.5
+	if !fits(lo + 1e-6) {
+		return 0
+	}
+	for hi-lo > solo*0.01 {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TotalCapacity sums the capacities of all stages — the per-iteration
+// preprocessing budget of one GPU.
+func TotalCapacity(caps []StageCapacity) float64 {
+	t := 0.0
+	for _, c := range caps {
+		t += c.Capacity
+	}
+	return t
+}

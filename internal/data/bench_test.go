@@ -1,0 +1,36 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkGenerate measures raw-batch synthesis (4096 samples, Criteo
+// shape).
+func BenchmarkGenerate(b *testing.B) {
+	g := NewGenerator(GenConfig{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.NextBatch(4096)
+	}
+}
+
+// BenchmarkRapcolRoundTrip measures serializing + parsing one batch.
+func BenchmarkRapcolRoundTrip(b *testing.B) {
+	g := NewGenerator(GenConfig{Seed: 1})
+	batch := g.NextBatch(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewReader(&buf).Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package data
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDatasetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := GenConfig{NumDense: 2, NumSparse: 3, Seed: 5}
+	const batches, samples = 19, 32
+	if err := WriteDataset(dir, cfg, batches, samples); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 19 batches at 8/shard -> 3 shards.
+	if len(ds.Meta.Shards) != 3 {
+		t.Fatalf("shards = %d", len(ds.Meta.Shards))
+	}
+	if ds.Meta.Batches != batches || ds.Meta.SamplesPerBatch != samples {
+		t.Fatalf("meta = %+v", ds.Meta)
+	}
+
+	// Streaming returns exactly the generator's sequence.
+	want := NewGenerator(cfg)
+	it := ds.Batches()
+	defer it.Close()
+	count := 0
+	for {
+		got, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := want.NextBatch(samples)
+		if got.Samples != samples {
+			t.Fatalf("batch %d samples = %d", count, got.Samples)
+		}
+		for i, s := range ref.Sparse {
+			gs := got.Sparse[i]
+			if gs.NNZ() != s.NNZ() {
+				t.Fatalf("batch %d sparse %d nnz mismatch", count, i)
+			}
+			for j := range s.Values {
+				if gs.Values[j] != s.Values[j] {
+					t.Fatalf("batch %d sparse %d value mismatch", count, i)
+				}
+			}
+		}
+		count++
+	}
+	if count != batches {
+		t.Fatalf("streamed %d batches, want %d", count, batches)
+	}
+}
+
+func TestDatasetLoop(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, GenConfig{NumDense: 1, NumSparse: 1, Seed: 2}, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := ds.Batches()
+	it.Loop = true
+	defer it.Close()
+	for i := 0; i < 10; i++ { // 3 batches looped > 3 times
+		if _, err := it.Next(); err != nil {
+			t.Fatalf("loop iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestDatasetErrors(t *testing.T) {
+	if err := WriteDataset(t.TempDir(), GenConfig{}, 0, 8); err == nil {
+		t.Fatal("zero batches accepted")
+	}
+	if _, err := OpenDataset(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDataset(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	// Manifest without shards.
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDataset(dir); err == nil {
+		t.Fatal("shardless manifest accepted")
+	}
+	// Missing shard file.
+	if err := os.WriteFile(filepath.Join(dir, metaFile),
+		[]byte(`{"shards":["missing.rapcol"],"batches":1,"samples_per_batch":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Batches().Next(); err == nil {
+		t.Fatal("missing shard accepted")
+	}
+}
+
+func TestDatasetIterCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, GenConfig{NumDense: 1, NumSparse: 1, Seed: 1}, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := ds.Batches()
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

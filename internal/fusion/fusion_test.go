@@ -1,0 +1,204 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"rap/internal/preproc"
+)
+
+var shape = preproc.Shape{Samples: 4096, AvgListLen: 3}
+
+func chain(name, col string, hash int64) *preproc.Graph {
+	return &preproc.Graph{
+		Name: name,
+		Ops: []preproc.Op{
+			preproc.NewFillNullSparse(name+"/fn", col, col+".fn", 0),
+			preproc.NewSigridHash(name+"/sh", col+".fn", col+".sh", hash),
+			preproc.NewFirstX(name+"/fx", col+".sh", col+".fx", 10),
+		},
+	}
+}
+
+func TestBuildProblemFlattens(t *testing.T) {
+	g1, g2 := chain("a", "cat_0", 100), chain("b", "cat_1", 100)
+	prob, refs, err := BuildProblem([]*preproc.Graph{g1, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 6 || len(prob.Types) != 6 {
+		t.Fatalf("flattened %d ops", len(refs))
+	}
+	// Graph b's first op has no deps; its second depends on index 3.
+	if len(prob.Deps[3]) != 0 || len(prob.Deps[4]) != 1 || prob.Deps[4][0] != 3 {
+		t.Fatalf("cross-graph deps wrong: %v", prob.Deps)
+	}
+}
+
+func TestBuildProblemValidates(t *testing.T) {
+	bad := &preproc.Graph{Name: "cyc", Ops: []preproc.Op{
+		preproc.NewCast("a", "y", "x"),
+		preproc.NewCast("b", "x", "y"),
+	}}
+	if _, _, err := BuildProblem([]*preproc.Graph{bad}); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestPlanFusionMergesAcrossGraphs(t *testing.T) {
+	graphs := []*preproc.Graph{
+		chain("a", "cat_0", 100), chain("b", "cat_1", 100),
+		chain("c", "cat_2", 100), chain("d", "cat_3", 100),
+	}
+	plan, err := PlanFusion(graphs, shape, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumOps != 12 {
+		t.Fatalf("NumOps = %d", plan.NumOps)
+	}
+	// Identical chains fuse level-wise: 3 kernels instead of 12.
+	if plan.NumKernels != 3 {
+		t.Fatalf("NumKernels = %d, want 3", plan.NumKernels)
+	}
+	if plan.MaxFusionDegree() != 4 {
+		t.Fatalf("MaxFusionDegree = %d, want 4", plan.MaxFusionDegree())
+	}
+	if !plan.Optimal {
+		t.Fatal("small instance should be optimal")
+	}
+	// Objective: 3 steps × 4² = 48.
+	if plan.Objective != 48 {
+		t.Fatalf("objective = %d, want 48", plan.Objective)
+	}
+	// Fused kernel names carry type and degree.
+	k := plan.Kernels()
+	if len(k) != 3 || !strings.Contains(k[0].Name, "x4") {
+		t.Fatalf("kernels = %v", k)
+	}
+}
+
+func TestPlanFusionRespectsDependencies(t *testing.T) {
+	graphs := []*preproc.Graph{chain("a", "cat_0", 100)}
+	plan, err := PlanFusion(graphs, shape, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure chain cannot fuse at all.
+	if plan.NumKernels != 3 || plan.MaxFusionDegree() != 1 {
+		t.Fatalf("chain plan: kernels=%d degree=%d", plan.NumKernels, plan.MaxFusionDegree())
+	}
+	// Step order follows the chain.
+	for i := 1; i < len(plan.Steps); i++ {
+		if plan.Steps[i].Index <= plan.Steps[i-1].Index {
+			t.Fatal("steps out of order")
+		}
+	}
+}
+
+func TestPlanFusionDisabled(t *testing.T) {
+	graphs := []*preproc.Graph{chain("a", "cat_0", 100), chain("b", "cat_1", 100)}
+	plan, err := PlanFusion(graphs, shape, Options{Disable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumKernels != 6 || plan.MaxFusionDegree() != 1 {
+		t.Fatalf("disabled fusion: kernels=%d degree=%d", plan.NumKernels, plan.MaxFusionDegree())
+	}
+	// Unfused total latency strictly exceeds the fused plan's.
+	fused, err := PlanFusion(graphs, shape, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.TotalSoloLatency() >= plan.TotalSoloLatency() {
+		t.Fatalf("fusion saved nothing: %f vs %f", fused.TotalSoloLatency(), plan.TotalSoloLatency())
+	}
+}
+
+func TestPlanFusionGreedyOnly(t *testing.T) {
+	graphs := []*preproc.Graph{chain("a", "cat_0", 100), chain("b", "cat_1", 100)}
+	plan, err := PlanFusion(graphs, shape, Options{GreedyOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical chains: greedy already fuses level-wise.
+	if plan.NumKernels != 3 {
+		t.Fatalf("greedy kernels = %d", plan.NumKernels)
+	}
+}
+
+func TestPlanFusionEmpty(t *testing.T) {
+	plan, err := PlanFusion(nil, shape, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumOps != 0 || len(plan.Kernels()) != 0 {
+		t.Fatal("empty plan not empty")
+	}
+}
+
+func TestPlanFusionOnStandardPlans(t *testing.T) {
+	for idx := 0; idx < 3; idx++ {
+		p := preproc.MustStandardPlan(idx, nil)
+		plan, err := PlanFusion(p.Graphs, p.Shape(4096), Options{MaxNodes: 20000})
+		if err != nil {
+			t.Fatalf("plan %d: %v", idx, err)
+		}
+		if plan.NumOps != p.NumOps() {
+			t.Fatalf("plan %d: ops %d != %d", idx, plan.NumOps, p.NumOps())
+		}
+		if plan.NumKernels >= plan.NumOps {
+			t.Fatalf("plan %d: no compression (%d kernels for %d ops)", idx, plan.NumKernels, plan.NumOps)
+		}
+		// Element conservation: fused kernels carry every op's elements.
+		var fusedEl, rawEl float64
+		for _, k := range plan.Kernels() {
+			fusedEl += k.Elements
+		}
+		shape := p.Shape(4096)
+		for _, g := range p.Graphs {
+			for _, s := range g.Specs(shape) {
+				rawEl += s.Elements
+			}
+		}
+		if diff := fusedEl - rawEl; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("plan %d: elements not conserved: %f vs %f", idx, fusedEl, rawEl)
+		}
+	}
+}
+
+func TestPlanFusionConflictResolution(t *testing.T) {
+	// Two graphs with opposite FirstX/SigridHash order (the §6.1
+	// conflict): fusion must still produce a valid plan and fuse the
+	// FillNull heads.
+	gA := &preproc.Graph{Name: "A", Ops: []preproc.Op{
+		preproc.NewFillNullSparse("A/fn", "cat_0", "a.fn", 0),
+		preproc.NewFirstX("A/fx", "a.fn", "a.fx", 10),
+		preproc.NewSigridHash("A/sh", "a.fx", "a.sh", 100),
+	}}
+	gB := &preproc.Graph{Name: "B", Ops: []preproc.Op{
+		preproc.NewFillNullSparse("B/fn", "cat_1", "b.fn", 0),
+		preproc.NewSigridHash("B/sh", "b.fn", "b.sh", 100),
+		preproc.NewFirstX("B/fx", "b.sh", "b.fx", 10),
+	}}
+	plan, err := PlanFusion([]*preproc.Graph{gA, gB}, shape, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ops; FillNulls fuse; at most one of (FirstX, SigridHash) pairs
+	// can fuse (the conflict) -> at least 4, at most 5 kernels.
+	if plan.NumKernels < 4 || plan.NumKernels > 5 {
+		t.Fatalf("conflict plan kernels = %d", plan.NumKernels)
+	}
+	foundFNFusion := false
+	for _, s := range plan.Steps {
+		for i, ids := range s.OpIDs {
+			if len(ids) == 2 && s.Kernels[i].Type == preproc.OpFillNull {
+				foundFNFusion = true
+			}
+		}
+	}
+	if !foundFNFusion {
+		t.Fatal("FillNull heads did not fuse")
+	}
+}

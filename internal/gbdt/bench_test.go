@@ -1,0 +1,24 @@
+package gbdt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTrain measures fitting the Table 5-scale predictor model
+// (2000 samples, 7 features, 100 trees).
+func BenchmarkTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 2000)
+	y := make([]float64, len(X))
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64() * 100, rng.Float64(), rng.Float64() * 10, rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 3*X[i][1] + X[i][3]*X[i][0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, Config{NumTrees: 100, MaxDepth: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

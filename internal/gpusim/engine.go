@@ -1,0 +1,360 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const (
+	timeEps = 1e-9
+	// minSpeed bounds how far contention can slow an op, guaranteeing
+	// forward progress in the event loop even under extreme
+	// oversubscription.
+	minSpeed = 1e-3
+
+	// ContentionExponent makes fair-share slowdown superlinear when a
+	// resource is oversubscribed: factor = (1/load)^φ. Oversubscribed
+	// SMs and memory systems lose aggregate throughput to cache
+	// thrashing and scheduling overhead, which is why unmanaged
+	// co-running (the MPS baseline) hurts more than proportionally
+	// (paper Figure 1c: overlapping an oversized kernel inflates MLP
+	// latency sharply).
+	ContentionExponent = 1.3
+
+	// PriorityBurstFactor inflates a high-priority op's SM load when
+	// computing the leftover available to lower priorities. GPUs
+	// preempt at thread-block granularity: a training kernel with 70%
+	// time-averaged SM use still occupies nearly all SM slots during
+	// its bursts, so a low-priority stream sees far less than the
+	// time-averaged headroom (this is what starves the CUDA-stream
+	// baseline, §8.2).
+	PriorityBurstFactor = 2.0
+)
+
+// Run executes the accumulated op DAG and returns the timeline. A Sim is
+// single-use: Run may only be called once.
+func (s *Sim) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("gpusim: Sim.Run called twice")
+	}
+	s.ran = true
+
+	// Wire the DAG.
+	for _, o := range s.ops {
+		seen := make(map[OpID]bool, len(o.deps))
+		for _, d := range o.deps {
+			if d < 0 || int(d) >= len(s.ops) {
+				return nil, fmt.Errorf("gpusim: op %q depends on unknown op %d", o.name, d)
+			}
+			if d == o.id {
+				return nil, fmt.Errorf("gpusim: op %q depends on itself", o.name)
+			}
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			s.ops[d].children = append(s.ops[d].children, o.id)
+			o.missing++
+		}
+	}
+
+	res := &Result{
+		Ops:    make([]OpResult, len(s.ops)),
+		Util:   make([][]UtilSegment, s.cfg.NumGPUs),
+		byName: make(map[string][]int),
+	}
+
+	now := 0.0
+	var running []*op
+	done := 0
+
+	start := func(o *op) {
+		o.state = opLaunching
+		o.start = now
+		if o.overheadLeft <= timeEps {
+			o.state = opRunning
+		}
+		running = append(running, o)
+	}
+	for _, o := range s.ops {
+		if o.missing == 0 {
+			start(o)
+		}
+	}
+
+	speeds := make([]float64, len(s.ops))
+	for done < len(s.ops) {
+		if len(running) == 0 {
+			return nil, fmt.Errorf("gpusim: deadlock — %d ops pending with no runnable op (dependency cycle?)", len(s.ops)-done)
+		}
+
+		// Resource factors for ops in the work phase.
+		factors := s.resourceFactors(running)
+
+		// Per-op speed and the next event horizon.
+		dt := math.Inf(1)
+		for _, o := range running {
+			switch o.state {
+			case opLaunching:
+				speeds[o.id] = 1
+				if o.overheadLeft/1 < dt {
+					dt = o.overheadLeft
+				}
+			case opRunning:
+				sp := 1.0
+				for rk, dem := range o.demands {
+					if dem <= 0 {
+						continue
+					}
+					if f, ok := factors[factorKey{rk, o.priority}]; ok && f < sp {
+						sp = f
+					}
+				}
+				if sp < minSpeed {
+					sp = minSpeed
+				}
+				speeds[o.id] = sp
+				if rem := o.workLeft / sp; rem < dt {
+					dt = rem
+				}
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		if math.IsInf(dt, 1) {
+			dt = 0 // only zero-work ops are running; complete them now
+		}
+
+		// Record utilization for this segment.
+		if dt > timeEps {
+			s.recordUtil(res, now, now+dt, running, factors)
+		}
+
+		// Advance and retire.
+		now += dt
+		next := running[:0]
+		var finished []*op
+		for _, o := range running {
+			switch o.state {
+			case opLaunching:
+				o.overheadLeft -= dt
+				if o.overheadLeft <= timeEps {
+					o.overheadLeft = 0
+					o.state = opRunning
+					if o.workLeft <= timeEps {
+						finished = append(finished, o)
+						continue
+					}
+				}
+				next = append(next, o)
+			case opRunning:
+				o.workLeft -= dt * speeds[o.id]
+				if o.workLeft <= timeEps {
+					finished = append(finished, o)
+					continue
+				}
+				next = append(next, o)
+			}
+		}
+		running = next
+		for _, o := range finished {
+			o.state = opDone
+			o.end = now
+			done++
+			res.Ops[o.id] = OpResult{ID: o.id, Name: o.name, Tag: o.tag, GPU: o.gpu, Start: o.start, End: o.end}
+			res.byName[o.name] = append(res.byName[o.name], int(o.id))
+			for _, c := range o.children {
+				child := s.ops[c]
+				child.missing--
+				if child.missing == 0 && child.state == opPending {
+					start(child)
+				}
+			}
+		}
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+type factorKey struct {
+	res  resKey
+	prio int
+}
+
+// resourceFactors computes, for every (resource, priority level) with at
+// least one running user, the slowdown factor its users receive.
+func (s *Sim) resourceFactors(running []*op) map[factorKey]float64 {
+	type level struct {
+		prio int
+		load float64
+	}
+	byRes := make(map[resKey][]level)
+	for _, o := range running {
+		if o.state != opRunning {
+			continue
+		}
+		for rk, dem := range o.demands {
+			if dem <= 0 {
+				continue
+			}
+			levels := byRes[rk]
+			found := false
+			for i := range levels {
+				if levels[i].prio == o.priority {
+					levels[i].load += dem
+					found = true
+					break
+				}
+			}
+			if !found {
+				levels = append(levels, level{prio: o.priority, load: dem})
+			}
+			byRes[rk] = levels
+		}
+	}
+
+	out := make(map[factorKey]float64)
+	for rk, levels := range byRes {
+		switch s.cfg.Policy {
+		case PrioritySpace:
+			sort.Slice(levels, func(i, j int) bool { return levels[i].prio > levels[j].prio })
+			remaining := 1.0
+			for i, lv := range levels {
+				f := 1.0
+				if lv.load > remaining {
+					if remaining <= 0 {
+						f = 0
+					} else {
+						f = remaining / lv.load
+					}
+					remaining = 0
+				} else {
+					remaining -= lv.load
+					// Lower priorities see the burst-inflated SM
+					// footprint of this level, not its time average.
+					if rk.kind == resSM && i < len(levels)-1 {
+						burst := lv.load * (PriorityBurstFactor - 1)
+						if burst > remaining {
+							remaining = 0
+						} else {
+							remaining -= burst
+						}
+					}
+				}
+				out[factorKey{rk, lv.prio}] = f
+			}
+		default: // FairShare: one factor for everyone on the resource
+			total := 0.0
+			for _, lv := range levels {
+				total += lv.load
+			}
+			f := 1.0
+			if total > 1 {
+				f = math.Pow(1/total, ContentionExponent)
+			}
+			for _, lv := range levels {
+				out[factorKey{rk, lv.prio}] = f
+			}
+		}
+	}
+	return out
+}
+
+// recordUtil appends one utilization segment per GPU covering [t0,t1).
+func (s *Sim) recordUtil(res *Result, t0, t1 float64, running []*op, factors map[factorKey]float64) {
+	type acc struct {
+		sm, bw float64
+		tagSM  map[string]float64
+	}
+	accs := make([]acc, s.cfg.NumGPUs)
+	hostCPU := 0.0
+	for _, o := range running {
+		if o.state != opRunning {
+			continue
+		}
+		for rk, dem := range o.demands {
+			if rk.kind == resCPU {
+				hostCPU += dem * factors[factorKey{rk, o.priority}]
+			}
+		}
+		if o.gpu < 0 {
+			continue
+		}
+		for rk, dem := range o.demands {
+			f := factors[factorKey{rk, o.priority}]
+			grant := dem * f
+			switch rk.kind {
+			case resSM:
+				accs[rk.gpu].sm += grant
+				if accs[rk.gpu].tagSM == nil {
+					accs[rk.gpu].tagSM = make(map[string]float64)
+				}
+				accs[rk.gpu].tagSM[o.tag] += grant
+			case resBW:
+				accs[rk.gpu].bw += grant
+			}
+		}
+	}
+	if hostCPU > 1 {
+		hostCPU = 1
+	}
+	if n := len(res.HostUtil); n > 0 && res.HostUtil[n-1].End == t0 && res.HostUtil[n-1].CPU == hostCPU {
+		res.HostUtil[n-1].End = t1
+	} else {
+		res.HostUtil = append(res.HostUtil, HostSegment{Start: t0, End: t1, CPU: hostCPU})
+	}
+	for g := 0; g < s.cfg.NumGPUs; g++ {
+		seg := UtilSegment{Start: t0, End: t1, SM: math.Min(accs[g].sm, 1), MemBW: math.Min(accs[g].bw, 1), TagSM: accs[g].tagSM}
+		// Merge with the previous segment when nothing changed, to keep
+		// timelines compact.
+		if n := len(res.Util[g]); n > 0 {
+			prev := &res.Util[g][n-1]
+			if prev.End == t0 && prev.SM == seg.SM && prev.MemBW == seg.MemBW && equalTagSM(prev.TagSM, seg.TagSM) {
+				prev.End = t1
+				continue
+			}
+		}
+		res.Util[g] = append(res.Util[g], seg)
+	}
+}
+
+func equalTagSM(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// BusyFraction returns the fraction of [0,upTo] during which GPU g had at
+// least one kernel resident (the NVML-style "GPU utilization" metric of
+// Table 4). upTo <= 0 means the whole makespan.
+func (r *Result) BusyFraction(g int, upTo float64) float64 {
+	if upTo <= 0 {
+		upTo = r.Makespan
+	}
+	if upTo == 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, seg := range r.Util[g] {
+		if seg.SM <= 0 && seg.MemBW <= 0 {
+			continue
+		}
+		s, e := seg.Start, seg.End
+		if s >= upTo {
+			break
+		}
+		if e > upTo {
+			e = upTo
+		}
+		busy += e - s
+	}
+	return busy / upTo
+}

@@ -1,0 +1,463 @@
+// Package gpusim is a discrete-event simulator of a multi-GPU training
+// node. It stands in for the 8×A100 DGX machine the RAP paper evaluates
+// on (see DESIGN.md, substitution table).
+//
+// The model is deliberately simple but captures exactly the mechanics the
+// RAP scheduler exploits:
+//
+//   - Every GPU exposes two shared resources, SM throughput and DRAM
+//     bandwidth, each with capacity 1.0. A kernel declares a demand in
+//     [0,1] for each; running alone it executes its Work (µs of solo
+//     time) at speed 1 after a fixed launch overhead.
+//   - Kernels co-running on a GPU contend: when the aggregate demand on
+//     a resource exceeds its capacity, every kernel using that resource
+//     is slowed by the oversubscription factor (fair sharing, as under
+//     MPS) or by leftover capacity only (priority/space sharing, as with
+//     CUDA stream priorities). A kernel's speed is the minimum across
+//     the resources it touches — so a bandwidth-bound embedding stage and
+//     a compute-light preprocessing kernel overlap for free, while two
+//     compute-heavy kernels stretch each other, reproducing Figure 1(c).
+//   - Inter-GPU communication occupies per-GPU link-in/link-out
+//     resources; host-to-device copies occupy a per-GPU copy engine; CPU
+//     preprocessing occupies a host CPU pool. These make data-preparation
+//     interleaving (§6.3) and the CPU baseline observable in timelines.
+//
+// Ops form a DAG (explicit dependencies plus implicit per-stream
+// serialization) and the engine advances time event-by-event, recording
+// per-op start/end and per-GPU utilization segments.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time values are microseconds throughout the simulator.
+
+// DefaultLaunchOverhead is the fixed kernel-launch latency in µs applied
+// when a Kernel does not set its own. It is the per-kernel cost that
+// horizontal fusion amortizes (§2.3 of the paper: "sequentially invoking
+// small input preprocessing kernels ... significant kernel launching
+// overhead").
+const DefaultLaunchOverhead = 5.0
+
+// Demand is a kernel's maximum usable fraction of each GPU resource.
+type Demand struct {
+	SM    float64 // fraction of SM throughput, [0,1]
+	MemBW float64 // fraction of DRAM bandwidth, [0,1]
+}
+
+// Clamp returns the demand with both fields clipped to [0,1].
+func (d Demand) Clamp() Demand {
+	c := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	return Demand{SM: c(d.SM), MemBW: c(d.MemBW)}
+}
+
+// Kernel describes one GPU kernel for the simulator.
+type Kernel struct {
+	Name string
+	// Work is the kernel's solo execution time in µs, excluding launch
+	// overhead. Under contention the effective time is Work/speed.
+	Work   float64
+	Demand Demand
+	// Warps is informational (it drives demand models upstream and the
+	// Figure 5(c) study); the engine itself only uses Demand.
+	Warps int
+	// LaunchOverhead, if zero, defaults to DefaultLaunchOverhead. The
+	// overhead phase is host-side and does not contend for GPU resources.
+	LaunchOverhead float64
+	// Tag labels the kernel for utilization attribution ("train",
+	// "preproc", ...).
+	Tag string
+}
+
+func (k Kernel) overhead() float64 {
+	if k.LaunchOverhead > 0 {
+		return k.LaunchOverhead
+	}
+	if k.LaunchOverhead < 0 {
+		return 0
+	}
+	return DefaultLaunchOverhead
+}
+
+// SoloLatency returns the kernel's uncontended latency.
+func (k Kernel) SoloLatency() float64 { return k.overhead() + k.Work }
+
+// SharePolicy selects how co-running kernels split an oversubscribed
+// resource.
+type SharePolicy int
+
+const (
+	// FairShare slows every user of an oversubscribed resource by the
+	// same factor (proportional sharing, the MPS-like behaviour).
+	FairShare SharePolicy = iota
+	// PrioritySpace grants higher-priority ops their full demand first;
+	// lower priorities share the leftover (CUDA stream priorities).
+	PrioritySpace
+)
+
+// String returns the policy name.
+func (p SharePolicy) String() string {
+	switch p {
+	case FairShare:
+		return "fair-share"
+	case PrioritySpace:
+		return "priority-space"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ClusterConfig sizes the simulated node.
+type ClusterConfig struct {
+	NumGPUs int
+	// LinkGBs is the per-GPU NVLink bandwidth in GB/s (default 300,
+	// NVSwitch-class).
+	LinkGBs float64
+	// CopyGBs is the per-GPU host-to-device copy bandwidth in GB/s
+	// (default 25, PCIe 4-class).
+	CopyGBs float64
+	// HostCores is the size of the host CPU pool available to CPU ops,
+	// expressed as schedulable workers (default 64).
+	HostCores int
+	Policy    SharePolicy
+}
+
+// WithDefaults returns the config with zero fields replaced by their
+// defaults (the same normalization NewSim applies).
+func (c ClusterConfig) WithDefaults() ClusterConfig {
+	if c.NumGPUs <= 0 {
+		c.NumGPUs = 1
+	}
+	if c.LinkGBs <= 0 {
+		c.LinkGBs = 300
+	}
+	if c.CopyGBs <= 0 {
+		c.CopyGBs = 25
+	}
+	if c.HostCores <= 0 {
+		c.HostCores = 64
+	}
+	return c
+}
+
+// resKind enumerates the resource classes of the cluster.
+type resKind int
+
+const (
+	resSM resKind = iota
+	resBW
+	resLinkOut
+	resLinkIn
+	resCopy
+	resCPU // host-wide; gpu index ignored
+)
+
+type resKey struct {
+	kind resKind
+	gpu  int
+}
+
+// OpID identifies an op added to a Sim.
+type OpID int
+
+// opState is the lifecycle of an op inside the engine.
+type opState int
+
+const (
+	opPending opState = iota
+	opLaunching
+	opRunning
+	opDone
+)
+
+type op struct {
+	id       OpID
+	name     string
+	tag      string
+	gpu      int // -1 for host-only ops
+	priority int
+
+	overheadLeft float64
+	workLeft     float64
+	demands      map[resKey]float64
+
+	deps     []OpID
+	children []OpID
+	missing  int // unfinished deps
+
+	state opState
+	start float64
+	end   float64
+}
+
+// OpResult reports one finished op.
+type OpResult struct {
+	ID    OpID
+	Name  string
+	Tag   string
+	GPU   int
+	Start float64
+	End   float64
+}
+
+// Latency is the op's wall time.
+func (r OpResult) Latency() float64 { return r.End - r.Start }
+
+// UtilSegment is a span of time with constant per-GPU utilization.
+type UtilSegment struct {
+	Start, End float64
+	SM, MemBW  float64 // granted utilization in [0,1]
+	// TagSM attributes SM utilization by kernel tag.
+	TagSM map[string]float64
+}
+
+// Result is the outcome of Sim.Run.
+type Result struct {
+	Ops      []OpResult
+	Makespan float64
+	// Util[g] is the utilization timeline of GPU g.
+	Util [][]UtilSegment
+	// HostUtil is the host CPU pool's utilization timeline.
+	HostUtil []HostSegment
+
+	byName map[string][]int
+}
+
+// OpByID returns the result of op id.
+func (r *Result) OpByID(id OpID) OpResult { return r.Ops[int(id)] }
+
+// OpsByName returns all results whose op name matches.
+func (r *Result) OpsByName(name string) []OpResult {
+	var out []OpResult
+	for _, i := range r.byName[name] {
+		out = append(out, r.Ops[i])
+	}
+	return out
+}
+
+// AvgUtil returns the time-weighted mean SM and bandwidth utilization of
+// GPU g over [0, upTo]; upTo <= 0 means the whole makespan.
+func (r *Result) AvgUtil(g int, upTo float64) (sm, bw float64) {
+	if upTo <= 0 {
+		upTo = r.Makespan
+	}
+	if upTo == 0 {
+		return 0, 0
+	}
+	var smArea, bwArea float64
+	for _, seg := range r.Util[g] {
+		s, e := seg.Start, seg.End
+		if s >= upTo {
+			break
+		}
+		if e > upTo {
+			e = upTo
+		}
+		smArea += seg.SM * (e - s)
+		bwArea += seg.MemBW * (e - s)
+	}
+	return smArea / upTo, bwArea / upTo
+}
+
+// Sample is one point of a resampled utilization series.
+type Sample struct {
+	T         float64
+	SM, MemBW float64
+}
+
+// UtilSeries resamples GPU g's utilization at the given period, for
+// plotting Figure 1(a)-style traces.
+func (r *Result) UtilSeries(g int, dt float64) []Sample {
+	if dt <= 0 || r.Makespan == 0 {
+		return nil
+	}
+	n := int(math.Ceil(r.Makespan/dt)) + 1
+	out := make([]Sample, 0, n)
+	segs := r.Util[g]
+	si := 0
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		for si < len(segs)-1 && segs[si].End <= t {
+			si++
+		}
+		s := Sample{T: t}
+		if si < len(segs) && t >= segs[si].Start && t < segs[si].End {
+			s.SM = segs[si].SM
+			s.MemBW = segs[si].MemBW
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Sim accumulates an op DAG and executes it.
+type Sim struct {
+	cfg     ClusterConfig
+	ops     []*op
+	streams map[string]OpID // last op per stream, for implicit chaining
+	ran     bool
+}
+
+// NewSim creates a simulator for the given cluster.
+func NewSim(cfg ClusterConfig) *Sim {
+	return &Sim{cfg: cfg.WithDefaults(), streams: make(map[string]OpID)}
+}
+
+// Config returns the (defaulted) cluster configuration.
+func (s *Sim) Config() ClusterConfig { return s.cfg }
+
+// OpOption customizes an op at add time.
+type OpOption func(*op, *Sim)
+
+// WithDeps makes the op wait for the given ops.
+func WithDeps(ids ...OpID) OpOption {
+	return func(o *op, _ *Sim) { o.deps = append(o.deps, ids...) }
+}
+
+// WithStream serializes the op after the previous op added to the same
+// stream key. Streams model CUDA streams: per-stream FIFO, cross-stream
+// concurrency.
+func WithStream(key string) OpOption {
+	return func(o *op, s *Sim) {
+		if last, ok := s.streams[key]; ok {
+			o.deps = append(o.deps, last)
+		}
+		s.streams[key] = o.id
+	}
+}
+
+// WithPriority sets the op's priority for PrioritySpace sharing; higher
+// wins. Default 0.
+func WithPriority(p int) OpOption {
+	return func(o *op, _ *Sim) { o.priority = p }
+}
+
+// WithTag overrides the op's utilization-attribution tag.
+func WithTag(tag string) OpOption {
+	return func(o *op, _ *Sim) { o.tag = tag }
+}
+
+func (s *Sim) add(o *op, opts ...OpOption) OpID {
+	o.id = OpID(len(s.ops))
+	s.ops = append(s.ops, o)
+	for _, f := range opts {
+		f(o, s)
+	}
+	return o.id
+}
+
+// AddKernel schedules a GPU kernel on gpu.
+func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
+	if gpu < 0 || gpu >= s.cfg.NumGPUs {
+		panic(fmt.Sprintf("gpusim: gpu %d out of range [0,%d)", gpu, s.cfg.NumGPUs))
+	}
+	d := k.Demand.Clamp()
+	o := &op{
+		name:         k.Name,
+		tag:          k.Tag,
+		gpu:          gpu,
+		overheadLeft: k.overhead(),
+		workLeft:     math.Max(k.Work, 0),
+		demands:      map[resKey]float64{},
+	}
+	if d.SM > 0 {
+		o.demands[resKey{resSM, gpu}] = d.SM
+	}
+	if d.MemBW > 0 {
+		o.demands[resKey{resBW, gpu}] = d.MemBW
+	}
+	return s.add(o, opts...)
+}
+
+// AddComm schedules a point-to-point transfer of bytes from GPU src to
+// GPU dst over the NVLink fabric.
+func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption) OpID {
+	if src == dst {
+		// Local "transfer": free apart from a trivial latency.
+		o := &op{name: name, tag: "comm", gpu: src, workLeft: 0.5, demands: map[resKey]float64{}}
+		return s.add(o, opts...)
+	}
+	work := bytes / (s.cfg.LinkGBs * 1e3) // µs at full link speed
+	o := &op{
+		name:     name,
+		tag:      "comm",
+		gpu:      src,
+		workLeft: work,
+		demands: map[resKey]float64{
+			{resLinkOut, src}: 1,
+			{resLinkIn, dst}:  1,
+		},
+	}
+	return s.add(o, opts...)
+}
+
+// AddLinkBusy schedules an op that occupies GPU g's links for the time a
+// collective of the given per-GPU byte volume would take. Collectives
+// (all-to-all, all-reduce) are expressed as one such op per participant.
+func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) OpID {
+	work := bytes / (s.cfg.LinkGBs * 1e3)
+	o := &op{
+		name:     name,
+		tag:      "comm",
+		gpu:      g,
+		workLeft: work,
+		demands: map[resKey]float64{
+			{resLinkOut, g}: 1,
+			{resLinkIn, g}:  1,
+		},
+	}
+	return s.add(o, opts...)
+}
+
+// AddHostCopy schedules a host-to-device copy of bytes onto GPU g's copy
+// engine (the data-preparation transfer of §6.3).
+func (s *Sim) AddHostCopy(name string, g int, bytes float64, opts ...OpOption) OpID {
+	work := bytes / (s.cfg.CopyGBs * 1e3)
+	o := &op{
+		name:     name,
+		tag:      "hostcopy",
+		gpu:      g,
+		workLeft: work,
+		demands:  map[resKey]float64{{resCopy, g}: 1},
+	}
+	return s.add(o, opts...)
+}
+
+// AddCPU schedules host-side work taking micros µs on `workers` CPU
+// workers out of the host pool.
+func (s *Sim) AddCPU(name string, micros float64, workers int, opts ...OpOption) OpID {
+	if workers < 1 {
+		workers = 1
+	}
+	frac := float64(workers) / float64(s.cfg.HostCores)
+	if frac > 1 {
+		frac = 1
+	}
+	o := &op{
+		name:     name,
+		tag:      "cpu",
+		gpu:      -1,
+		workLeft: micros,
+		demands:  map[resKey]float64{{resCPU, 0}: frac},
+	}
+	return s.add(o, opts...)
+}
+
+// AddBarrier schedules a zero-duration synchronization op.
+func (s *Sim) AddBarrier(name string, opts ...OpOption) OpID {
+	o := &op{name: name, tag: "sync", gpu: -1, demands: map[resKey]float64{}}
+	return s.add(o, opts...)
+}
+
+// NumOps returns the number of ops added so far.
+func (s *Sim) NumOps() int { return len(s.ops) }

@@ -1,0 +1,480 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %.4f, want %.4f (tol %.4f)", msg, got, want, tol)
+	}
+}
+
+func TestSoloKernelLatency(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	k := Kernel{Name: "k", Work: 100, Demand: Demand{SM: 0.5, MemBW: 0.3}}
+	id := s.AddKernel(0, k)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(id).Latency(), 100+DefaultLaunchOverhead, 1e-6, "solo latency")
+	almost(t, res.Makespan, k.SoloLatency(), 1e-6, "makespan")
+}
+
+func TestLaunchOverheadOverride(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	id := s.AddKernel(0, Kernel{Name: "k", Work: 10, LaunchOverhead: 2, Demand: Demand{SM: 0.1}})
+	id2 := s.AddKernel(0, Kernel{Name: "z", Work: 10, LaunchOverhead: -1, Demand: Demand{SM: 0.1}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(id).Latency(), 12, 1e-6, "custom overhead")
+	almost(t, res.OpByID(id2).Latency(), 10, 1e-6, "suppressed overhead")
+}
+
+func TestCoRunNoContention(t *testing.T) {
+	// Total demand under capacity on both resources: no stretch.
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 100, Demand: Demand{SM: 0.6, MemBW: 0.2}})
+	b := s.AddKernel(0, Kernel{Name: "b", Work: 100, Demand: Demand{SM: 0.3, MemBW: 0.5}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(a).Latency(), 105, 1e-6, "a unstretched")
+	almost(t, res.OpByID(b).Latency(), 105, 1e-6, "b unstretched")
+}
+
+func TestCoRunFairShareContention(t *testing.T) {
+	// Two kernels each demanding 0.8 SM: load 1.6, both slowed by the
+	// superlinear factor (1/1.6)^φ.
+	s := NewSim(ClusterConfig{NumGPUs: 1, Policy: FairShare})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 160, LaunchOverhead: -1, Demand: Demand{SM: 0.8}})
+	b := s.AddKernel(0, Kernel{Name: "b", Work: 160, LaunchOverhead: -1, Demand: Demand{SM: 0.8}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 160 * math.Pow(1.6, ContentionExponent)
+	almost(t, res.OpByID(a).Latency(), want, 1e-6, "a stretched")
+	almost(t, res.OpByID(b).Latency(), want, 1e-6, "b stretched")
+}
+
+func TestCoRunAsymmetricRelease(t *testing.T) {
+	// b is short; once it finishes, a speeds back up.
+	s := NewSim(ClusterConfig{NumGPUs: 1, Policy: FairShare})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 100, LaunchOverhead: -1, Demand: Demand{SM: 1.0}})
+	b := s.AddKernel(0, Kernel{Name: "b", Work: 10, LaunchOverhead: -1, Demand: Demand{SM: 1.0}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both run at (1/2)^φ until b finishes; a then has 90 work left at
+	// full speed.
+	f := math.Pow(0.5, ContentionExponent)
+	bEnd := 10 / f
+	almost(t, res.OpByID(b).End, bEnd, 1e-6, "b end")
+	almost(t, res.OpByID(a).End, bEnd+90, 1e-6, "a end")
+}
+
+func TestPrioritySpaceSharing(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1, Policy: PrioritySpace})
+	hi := s.AddKernel(0, Kernel{Name: "train", Work: 100, LaunchOverhead: -1, Demand: Demand{SM: 0.7}}, WithPriority(1))
+	lo := s.AddKernel(0, Kernel{Name: "pre", Work: 60, LaunchOverhead: -1, Demand: Demand{SM: 0.6}}, WithPriority(0))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High priority gets its full 0.7 and is unstretched.
+	almost(t, res.OpByID(hi).Latency(), 100, 1e-6, "train unaffected")
+	// Low priority sees the burst-inflated footprint of the training
+	// kernel (0.7×PriorityBurstFactor ≥ 1): it crawls at the progress
+	// floor until train finishes, then runs its ~60 work at full speed.
+	got := res.OpByID(lo).End
+	if got < 155 || got > 165 {
+		t.Fatalf("preproc squeezed: end = %f, want ~160", got)
+	}
+}
+
+func TestPrioritySpaceStarvationFloor(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1, Policy: PrioritySpace})
+	s.AddKernel(0, Kernel{Name: "train", Work: 50, LaunchOverhead: -1, Demand: Demand{SM: 1.0}}, WithPriority(1))
+	lo := s.AddKernel(0, Kernel{Name: "pre", Work: 1, LaunchOverhead: -1, Demand: Demand{SM: 0.5}}, WithPriority(0))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starved op still progresses at the floor speed and terminates.
+	if res.OpByID(lo).End <= 0 || math.IsInf(res.OpByID(lo).End, 1) {
+		t.Fatalf("starved op never finished: %+v", res.OpByID(lo))
+	}
+}
+
+func TestStreamsSerialize(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 10, LaunchOverhead: -1, Demand: Demand{SM: 0.1}}, WithStream("s0"))
+	b := s.AddKernel(0, Kernel{Name: "b", Work: 10, LaunchOverhead: -1, Demand: Demand{SM: 0.1}}, WithStream("s0"))
+	c := s.AddKernel(0, Kernel{Name: "c", Work: 10, LaunchOverhead: -1, Demand: Demand{SM: 0.1}}, WithStream("s1"))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpByID(b).Start < res.OpByID(a).End-1e-9 {
+		t.Fatalf("stream did not serialize: b.start=%f a.end=%f", res.OpByID(b).Start, res.OpByID(a).End)
+	}
+	almost(t, res.OpByID(c).Start, 0, 1e-9, "other stream starts immediately")
+}
+
+func TestExplicitDeps(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 30, LaunchOverhead: -1, Demand: Demand{SM: 0.2}})
+	b := s.AddKernel(1, Kernel{Name: "b", Work: 5, LaunchOverhead: -1, Demand: Demand{SM: 0.2}}, WithDeps(a))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(b).Start, 30, 1e-6, "dep start")
+	almost(t, res.Makespan, 35, 1e-6, "makespan")
+}
+
+func TestBarrierJoinsFanIn(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 10, LaunchOverhead: -1, Demand: Demand{SM: 0.2}})
+	b := s.AddKernel(1, Kernel{Name: "b", Work: 25, LaunchOverhead: -1, Demand: Demand{SM: 0.2}})
+	bar := s.AddBarrier("sync", WithDeps(a, b))
+	c := s.AddKernel(0, Kernel{Name: "c", Work: 1, LaunchOverhead: -1, Demand: Demand{SM: 0.2}}, WithDeps(bar))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(c).Start, 25, 1e-6, "barrier waits for slowest")
+}
+
+func TestCommLatency(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2, LinkGBs: 100})
+	// 1 MB over 100 GB/s = 1e6 / (100*1e3) µs = 10 µs.
+	id := s.AddComm("xfer", 0, 1, 1e6)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(id).Latency(), 10, 1e-6, "comm latency")
+}
+
+func TestCommSameGPUFree(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2, LinkGBs: 100})
+	id := s.AddComm("local", 1, 1, 1e9)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpByID(id).Latency() > 1 {
+		t.Fatalf("local transfer should be ~free, got %f", res.OpByID(id).Latency())
+	}
+}
+
+func TestCommLinkContention(t *testing.T) {
+	// Two transfers out of GPU 0 share its egress link.
+	s := NewSim(ClusterConfig{NumGPUs: 3, LinkGBs: 100})
+	a := s.AddComm("a", 0, 1, 1e6)
+	b := s.AddComm("b", 0, 2, 1e6)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Pow(2, ContentionExponent)
+	almost(t, res.OpByID(a).Latency(), want, 1e-6, "shared egress a")
+	almost(t, res.OpByID(b).Latency(), want, 1e-6, "shared egress b")
+}
+
+func TestHostCopyAndCPU(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1, CopyGBs: 10, HostCores: 4})
+	h := s.AddHostCopy("h2d", 0, 1e5) // 1e5 / (10*1e3) = 10 µs
+	c := s.AddCPU("prep", 40, 2)      // 2 of 4 cores
+	c2 := s.AddCPU("prep2", 40, 2)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(h).Latency(), 10, 1e-6, "host copy")
+	// The two CPU ops together demand the whole pool: no stretch.
+	almost(t, res.OpByID(c).Latency(), 40, 1e-6, "cpu op")
+	almost(t, res.OpByID(c2).Latency(), 40, 1e-6, "cpu op 2")
+}
+
+func TestCPUPoolContention(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1, HostCores: 4})
+	a := s.AddCPU("a", 40, 4)
+	b := s.AddCPU("b", 40, 4)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40 * math.Pow(2, ContentionExponent)
+	almost(t, res.OpByID(a).Latency(), want, 1e-6, "cpu contention")
+	almost(t, res.OpByID(b).Latency(), want, 1e-6, "cpu contention")
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 1, Demand: Demand{SM: 0.1}})
+	b := s.AddKernel(0, Kernel{Name: "b", Work: 1, Demand: Demand{SM: 0.1}}, WithDeps(a))
+	// Forge a cycle a -> b -> a.
+	s.ops[a].deps = append(s.ops[a].deps, b)
+	if _, err := s.Run(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	s.AddKernel(0, Kernel{Name: "a", Work: 1, Demand: Demand{SM: 0.1}})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestBadDepRejected(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	s.AddKernel(0, Kernel{Name: "a", Work: 1, Demand: Demand{SM: 0.1}}, WithDeps(OpID(99)))
+	if _, err := s.Run(); err == nil {
+		t.Fatal("unknown dep accepted")
+	}
+}
+
+func TestSelfDepRejected(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	o := s.AddKernel(0, Kernel{Name: "a", Work: 1, Demand: Demand{SM: 0.1}})
+	s.ops[o].deps = append(s.ops[o].deps, o)
+	if _, err := s.Run(); err == nil {
+		t.Fatal("self dep accepted")
+	}
+}
+
+func TestGPUOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range gpu")
+		}
+	}()
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	s.AddKernel(3, Kernel{Name: "a", Work: 1})
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	s.AddKernel(0, Kernel{Name: "a", Work: 100, LaunchOverhead: -1, Demand: Demand{SM: 0.6, MemBW: 0.4}, Tag: "train"})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, bw := res.AvgUtil(0, 0)
+	almost(t, sm, 0.6, 1e-6, "avg sm")
+	almost(t, bw, 0.4, 1e-6, "avg bw")
+	almost(t, res.BusyFraction(0, 0), 1.0, 1e-6, "busy fraction")
+	if len(res.Util[0]) == 0 || res.Util[0][0].TagSM["train"] != 0.6 {
+		t.Fatalf("tag attribution wrong: %+v", res.Util[0])
+	}
+}
+
+func TestUtilSeriesSampling(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 50, LaunchOverhead: -1, Demand: Demand{SM: 0.9}})
+	s.AddKernel(0, Kernel{Name: "b", Work: 50, LaunchOverhead: -1, Demand: Demand{SM: 0.1}}, WithDeps(a))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.UtilSeries(0, 10)
+	if len(series) < 10 {
+		t.Fatalf("series too short: %d", len(series))
+	}
+	almost(t, series[2].SM, 0.9, 1e-6, "early sample")
+	almost(t, series[7].SM, 0.1, 1e-6, "late sample")
+	if got := res.UtilSeries(0, 0); got != nil {
+		t.Fatal("dt=0 should return nil")
+	}
+}
+
+func TestAvgUtilPrefixWindow(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	a := s.AddKernel(0, Kernel{Name: "a", Work: 50, LaunchOverhead: -1, Demand: Demand{SM: 1.0}})
+	s.AddKernel(0, Kernel{Name: "idlegap", Work: 50, LaunchOverhead: -1, Demand: Demand{}}, WithDeps(a))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, _ := res.AvgUtil(0, 50)
+	almost(t, sm, 1.0, 1e-6, "prefix window util")
+	sm, _ = res.AvgUtil(0, 100)
+	almost(t, sm, 0.5, 1e-6, "full window util")
+}
+
+func TestOpsByName(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	s.AddKernel(0, Kernel{Name: "k", Work: 1, Demand: Demand{SM: 0.1}})
+	s.AddKernel(0, Kernel{Name: "k", Work: 1, Demand: Demand{SM: 0.1}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.OpsByName("k")); got != 2 {
+		t.Fatalf("OpsByName = %d results, want 2", got)
+	}
+	if res.OpsByName("zzz") != nil {
+		t.Fatal("unknown name returned results")
+	}
+}
+
+func TestDemandClamp(t *testing.T) {
+	d := Demand{SM: 1.7, MemBW: -0.4}.Clamp()
+	if d.SM != 1 || d.MemBW != 0 {
+		t.Fatalf("Clamp = %+v", d)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FairShare.String() != "fair-share" || PrioritySpace.String() != "priority-space" {
+		t.Fatal("policy names wrong")
+	}
+	if SharePolicy(9).String() == "" {
+		t.Fatal("unknown policy empty name")
+	}
+}
+
+func TestLinkBusy(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2, LinkGBs: 100})
+	id := s.AddLinkBusy("a2a", 0, 1e6)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(id).Latency(), 10, 1e-6, "link busy latency")
+}
+
+// Property: the makespan is at least the longest dependency chain's solo
+// latency, and contention can only increase op latency, never decrease it.
+func TestContentionMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		mk := func() (*Sim, []OpID) {
+			s := NewSim(ClusterConfig{NumGPUs: 1, Policy: FairShare})
+			ids := make([]OpID, n)
+			r2 := rand.New(rand.NewSource(seed))
+			for i := 0; i < n; i++ {
+				k := Kernel{
+					Name:           "k",
+					Work:           1 + 50*r2.Float64(),
+					LaunchOverhead: -1,
+					Demand:         Demand{SM: r2.Float64(), MemBW: r2.Float64()},
+				}
+				ids[i] = s.AddKernel(0, k)
+			}
+			return s, ids
+		}
+		s1, ids := mk()
+		res1, err := s1.Run()
+		if err != nil {
+			return false
+		}
+		// Same kernels plus one extra contender.
+		s2, ids2 := mk()
+		s2.AddKernel(0, Kernel{Name: "extra", Work: 100, LaunchOverhead: -1, Demand: Demand{SM: 0.9, MemBW: 0.9}})
+		res2, err := s2.Run()
+		if err != nil {
+			return false
+		}
+		for i := range ids {
+			if res2.OpByID(ids2[i]).Latency() < res1.OpByID(ids[i]).Latency()-1e-6 {
+				return false
+			}
+		}
+		return res1.Makespan <= res2.Makespan+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization never exceeds 1 and op latencies are never below
+// solo latency.
+func TestUtilBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim(ClusterConfig{NumGPUs: 2, Policy: SharePolicy(rng.Intn(2))})
+		n := 2 + rng.Intn(8)
+		type added struct {
+			id   OpID
+			solo float64
+		}
+		var ids []added
+		for i := 0; i < n; i++ {
+			k := Kernel{
+				Name:   "k",
+				Work:   rng.Float64() * 30,
+				Demand: Demand{SM: rng.Float64(), MemBW: rng.Float64()},
+			}
+			ids = append(ids, added{s.AddKernel(rng.Intn(2), k), k.SoloLatency()})
+		}
+		res, err := s.Run()
+		if err != nil {
+			return false
+		}
+		for g := 0; g < 2; g++ {
+			for _, seg := range res.Util[g] {
+				if seg.SM > 1+1e-9 || seg.MemBW > 1+1e-9 || seg.End < seg.Start {
+					return false
+				}
+			}
+		}
+		for _, a := range ids {
+			if res.OpByID(a.id).Latency() < a.solo-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1, HostCores: 10})
+	s.AddKernel(0, Kernel{Name: "k", Work: 1e6, LaunchOverhead: -1, Demand: Demand{SM: 0.5, MemBW: 0.5}})
+	s.AddCPU("c", 1e6, 5)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := PowerModel{GPUIdleW: 100, GPUSMW: 200, GPUMemW: 100, HostIdleW: 50, HostCoreW: 10}
+	e := res.Energy(pm, 1, 10)
+	// 1 second makespan: GPU = 100 idle + 200*0.5 + 100*0.5 = 250 J;
+	// host = 50 idle + 10 W/core * 10 cores * 0.5 util = 100 J.
+	almost(t, e.MakespanUs, 1e6, 1e-3, "makespan")
+	almost(t, e.GPUJoules, 250, 0.5, "gpu joules")
+	almost(t, e.HostJoules, 100, 0.5, "host joules")
+	almost(t, e.Total(), 350, 1, "total")
+	almost(t, e.AvgGPUWatts(), 250, 0.5, "gpu watts")
+	almost(t, e.AvgHostWatts(), 100, 0.5, "host watts")
+	if len(res.HostUtil) == 0 {
+		t.Fatal("no host utilization recorded")
+	}
+}
+
+func TestEnergyEmptyResult(t *testing.T) {
+	var e EnergyReport
+	if e.AvgGPUWatts() != 0 || e.AvgHostWatts() != 0 {
+		t.Fatal("zero-makespan watts should be 0")
+	}
+}

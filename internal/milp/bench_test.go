@@ -1,0 +1,28 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSolvePlanSized measures the branch & bound on a per-GPU
+// fusion problem of realistic size (60 ops, 6 types, chain deps).
+func BenchmarkSolvePlanSized(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	types := make([]int, n)
+	deps := make([][]int, n)
+	for i := 0; i < n; i++ {
+		types[i] = rng.Intn(6)
+		if i%4 != 0 {
+			deps[i] = []int{i - 1}
+		}
+	}
+	p := Problem{Types: types, Deps: deps, MaxNodes: 200_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMLPStep measures one forward+backward+SGD pass of a
+// DLRM-top-MLP-shaped network on a 256-sample batch.
+func BenchmarkMLPStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{479, 256, 128, 1}, false, rng)
+	x := NewMatrix(256, 479)
+	labels := make([]float32, 256)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.Forward(x)
+		_, grad := BCEWithLogits(out, labels)
+		m.Backward(grad)
+		m.Step(0.1)
+	}
+}

@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Checkpointing: online DLRM training continuously publishes updated
+// models to the inference tier (paper §2.1's model-updating loop), so
+// the NN substrate supports serializing and restoring MLP weights. The
+// format is a tiny binary container: magic, layer count, then per linear
+// layer its dims and raw little-endian float32 weights and biases.
+
+const checkpointMagic = "RAPW"
+
+// Save writes the MLP's trainable parameters to w.
+func (m *MLP) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return err
+	}
+	var linears []*Linear
+	for _, l := range m.Layers {
+		if lin, ok := l.(*Linear); ok {
+			linears = append(linears, lin)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(linears))); err != nil {
+		return err
+	}
+	for _, lin := range linears {
+		if err := binary.Write(w, binary.LittleEndian, uint32(lin.In)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(lin.Out)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, lin.W.Data); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, lin.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores parameters saved by Save into a structurally identical
+// MLP (same layer dims in the same order).
+func (m *MLP) Load(r io.Reader) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	var linears []*Linear
+	for _, l := range m.Layers {
+		if lin, ok := l.(*Linear); ok {
+			linears = append(linears, lin)
+		}
+	}
+	if int(count) != len(linears) {
+		return fmt.Errorf("nn: checkpoint has %d linear layers, model has %d", count, len(linears))
+	}
+	for i, lin := range linears {
+		var in, out uint32
+		if err := binary.Read(r, binary.LittleEndian, &in); err != nil {
+			return err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &out); err != nil {
+			return err
+		}
+		if int(in) != lin.In || int(out) != lin.Out {
+			return fmt.Errorf("nn: checkpoint layer %d is %d×%d, model wants %d×%d", i, in, out, lin.In, lin.Out)
+		}
+		if err := binary.Read(r, binary.LittleEndian, lin.W.Data); err != nil {
+			return err
+		}
+		if err := binary.Read(r, binary.LittleEndian, lin.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewMLP([]int{4, 8, 2}, true, rng)
+	dst := NewMLP([]int{4, 8, 2}, true, rng) // different init
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	a, b := src.Forward(x), dst.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("restored model diverges at %d: %f vs %f", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewMLP([]int{4, 8, 2}, true, rng)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongDims := NewMLP([]int{4, 6, 2}, true, rng)
+	if err := wrongDims.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	wrongDepth := NewMLP([]int{4, 8, 8, 2}, true, rng)
+	if err := wrongDepth.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("depth mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := NewMLP([]int{2, 2}, true, rand.New(rand.NewSource(1)))
+	if err := m.Load(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := m.Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty reader accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := m.Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

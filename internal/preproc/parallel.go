@@ -1,0 +1,92 @@
+package preproc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rap/internal/tensor"
+)
+
+// ParallelApply executes every graph of the plan on b using a pool of
+// CPU workers — the execution model of the TorchArrow/Velox-style CPU
+// preprocessing tier (8 workers per trainer in the paper's baseline).
+//
+// Graphs are independent by construction (Plan.Validate enforces
+// cross-graph output uniqueness), so each worker runs whole graphs on a
+// shallow view of the batch (shared input columns, private column
+// table) and the newly produced columns are merged back under a lock.
+// Operators never mutate their inputs, which makes the shared-column
+// reads race-free.
+func ParallelApply(p *Plan, b *tensor.Batch, workers int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.Graphs) {
+		workers = len(p.Graphs)
+	}
+	if workers <= 1 {
+		return p.Apply(b)
+	}
+
+	jobs := make(chan *Graph)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				// The view must be taken under the merge lock: another
+				// worker may be appending columns to b concurrently.
+				mu.Lock()
+				view := b.ShallowCopy()
+				mu.Unlock()
+				if err := g.Apply(view); err != nil {
+					fail(fmt.Errorf("preproc: graph %q: %w", g.Name, err))
+					continue
+				}
+				// Merge the graph's outputs back into the shared batch.
+				mu.Lock()
+				for _, op := range g.Ops {
+					name := op.Output()
+					if d := view.DenseByName(name); d != nil {
+						if err := b.AddOrReplaceDense(d); err != nil {
+							mu.Unlock()
+							fail(err)
+							mu.Lock()
+						}
+						continue
+					}
+					if s := view.SparseByName(name); s != nil {
+						if err := b.AddOrReplaceSparse(s); err != nil {
+							mu.Unlock()
+							fail(err)
+							mu.Lock()
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, g := range p.Graphs {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

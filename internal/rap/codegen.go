@@ -1,0 +1,118 @@
+package rap
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// PlanArtifact is the serializable form of a searched plan — the
+// counterpart of the paper's generated code artifact (Figure 4 step 3:
+// "translates the searched plan into executable code").
+type PlanArtifact struct {
+	Dataset    string              `json:"dataset"`
+	Plan       string              `json:"preprocessing_plan"`
+	NumGPUs    int                 `json:"num_gpus"`
+	BatchSize  int                 `json:"per_gpu_batch"`
+	Strategy   string              `json:"mapping_strategy"`
+	MappingMov int                 `json:"mapping_moves"`
+	GPUs       []GPUPlanArtifact   `json:"gpus"`
+	TableGPU   []int               `json:"table_placement"`
+	Exposed    []float64           `json:"predicted_exposed_us"`
+	Ablation   map[string]bool     `json:"ablation"`
+	Capacities []map[string]string `json:"-"`
+}
+
+// GPUPlanArtifact describes one GPU's searched plan.
+type GPUPlanArtifact struct {
+	GPU          int                 `json:"gpu"`
+	NumGraphs    int                 `json:"num_graphs"`
+	NumOps       int                 `json:"num_ops"`
+	NumKernels   int                 `json:"num_fused_kernels"`
+	MaxFusion    int                 `json:"max_fusion_degree"`
+	NumShards    int                 `json:"num_shards"`
+	CommBytes    float64             `json:"input_comm_bytes"`
+	StageKernels map[string][]string `json:"stage_kernels"`
+}
+
+// Artifact builds the serializable plan description.
+func Artifact(p *ExecPlan) PlanArtifact {
+	a := PlanArtifact{
+		Dataset:    string(p.Workload.Dataset),
+		Plan:       p.Workload.Plan.Name,
+		NumGPUs:    p.Cluster.NumGPUs,
+		BatchSize:  p.Workload.Model.BatchSize,
+		Strategy:   p.Mapping.Strategy,
+		MappingMov: p.Mapping.Moves,
+		TableGPU:   p.Placement.TableGPU,
+		Exposed:    p.PredictedExposedUs,
+		Ablation: map[string]bool{
+			"no_fusion":     p.Opts.NoFusion,
+			"no_sharding":   p.Opts.NoSharding,
+			"no_interleave": p.Opts.NoInterleave,
+		},
+	}
+	for g := 0; g < p.Cluster.NumGPUs; g++ {
+		ga := GPUPlanArtifact{
+			GPU:          g,
+			NumGraphs:    len(p.Mapping.PerGPU[g]),
+			NumOps:       p.Fusions[g].NumOps,
+			NumKernels:   p.Fusions[g].NumKernels,
+			MaxFusion:    p.Fusions[g].MaxFusionDegree(),
+			NumShards:    p.Schedules[g].NumShards,
+			CommBytes:    p.Mapping.CommBytes[g],
+			StageKernels: map[string][]string{},
+		}
+		for s, ks := range p.Schedules[g].PerStage {
+			if len(ks) == 0 {
+				continue
+			}
+			stage := p.Capacities[g][s].Name
+			for _, k := range ks {
+				ga.StageKernels[stage] = append(ga.StageKernels[stage], k.Name)
+			}
+		}
+		if len(p.Schedules[g].Overflow) > 0 {
+			for _, k := range p.Schedules[g].Overflow {
+				ga.StageKernels["(overflow)"] = append(ga.StageKernels["(overflow)"], k.Name)
+			}
+		}
+		a.GPUs = append(a.GPUs, ga)
+	}
+	return a
+}
+
+// MarshalPlan renders the artifact as indented JSON.
+func MarshalPlan(p *ExecPlan) ([]byte, error) {
+	return json.MarshalIndent(Artifact(p), "", "  ")
+}
+
+// CodeGen renders the searched plan as a human-readable launch script —
+// the stand-in for the PyTorch-frontend code the paper's artifact emits.
+func CodeGen(p *ExecPlan) string {
+	var b strings.Builder
+	a := Artifact(p)
+	fmt.Fprintf(&b, "# RAP generated co-running plan\n")
+	fmt.Fprintf(&b, "# workload: %s / %s, %d GPUs, per-GPU batch %d\n",
+		a.Dataset, a.Plan, a.NumGPUs, a.BatchSize)
+	fmt.Fprintf(&b, "# mapping: %s (%d rebalancing moves)\n\n", a.Strategy, a.MappingMov)
+	for _, g := range a.GPUs {
+		fmt.Fprintf(&b, "gpu[%d]: graphs=%d ops=%d fused_kernels=%d max_fusion=%d shards=%d comm=%.0fB\n",
+			g.GPU, g.NumGraphs, g.NumOps, g.NumKernels, g.MaxFusion, g.NumShards, g.CommBytes)
+		for s := range p.Schedules[g.GPU].PerStage {
+			ks := p.Schedules[g.GPU].PerStage[s]
+			if len(ks) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  with stage %-12s overlap:\n", p.Capacities[g.GPU][s].Name)
+			for _, k := range ks {
+				fmt.Fprintf(&b, "    launch %-40s  pred=%.1fus warps=%d\n", k.Name, k.SoloLatency(), k.Warps())
+			}
+		}
+		for _, k := range p.Schedules[g.GPU].Overflow {
+			fmt.Fprintf(&b, "  EXPOSED launch %-32s  pred=%.1fus\n", k.Name, k.SoloLatency())
+		}
+	}
+	fmt.Fprintf(&b, "\n# predicted exposed latency per GPU (us): %v\n", p.PredictedExposedUs)
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package rap
+
+import (
+	"fmt"
+
+	"rap/internal/preproc"
+)
+
+// This file implements the §10 "Discussion" extensions of the paper:
+// plan regeneration under input-distribution shift, and the hybrid
+// CPU+GPU preprocessing mode for workloads that exceed the GPUs'
+// overlapping capacity.
+
+// WithListLen returns a copy of the workload whose expected multi-hot
+// list length changed — the input-distribution shift of §10 ("the input
+// distribution may shift over time"). The preprocessing graphs are
+// shared; only the cost-model shapes and the generator change.
+func (w *Workload) WithListLen(avgListLen float64) *Workload {
+	if avgListLen <= 0 {
+		avgListLen = 1
+	}
+	out := *w
+	plan := *w.Plan
+	plan.AvgListLen = avgListLen
+	out.Plan = &plan
+	out.Gen.AvgListLen = avgListLen
+	model := w.Model
+	model.AvgPooling = avgListLen
+	out.Model = model
+	return &out
+}
+
+// AdaptToShift implements the §10 regeneration: given the shifted
+// distribution's average list length, it re-profiles the embedding
+// layers' overlapping capacity (which depends on pooling volume) and
+// re-runs the fusion + mapping + scheduling search. The returned plan
+// replaces the stale one; the framework's workload is updated in place.
+func (f *Framework) AdaptToShift(avgListLen float64, opts BuildOptions) (*ExecPlan, error) {
+	f.W = f.W.WithListLen(avgListLen)
+	return f.BuildPlan(opts)
+}
+
+// HybridCPUSlowdownPerWorker is the per-worker CPU/GPU cost ratio used
+// when spilling preprocessing to host CPUs (same calibration as the
+// TorchArrow baseline).
+const HybridCPUSlowdownPerWorker = 500.0
+
+// MakeHybrid converts a plan to the §10 hybrid CPU+GPU preprocessing
+// mode: every GPU's overflow kernels (the work Algorithm 1 could not
+// hide inside the training iteration) are segmented off and assigned to
+// cpuWorkers host/remote CPU workers per GPU (a GoldMiner-style elastic
+// CPU tier — the paper's hybrid "employs both GPUs and CPUs", spilling
+// only the part the GPUs cannot absorb). The CPU work runs concurrently
+// with training instead of extending the iteration. The plan is
+// modified in place and also returned. Returns the number of operators
+// spilled.
+//
+// Note the economics this makes explicit: one CPU worker is
+// HybridCPUSlowdownPerWorker× slower than the GPU, so the hybrid mode
+// only pays off when the spilled work would otherwise be exposed AND the
+// CPU tier is wide enough — exactly the paper's framing that GPU
+// leftovers should carry the bulk and CPUs only the residue.
+func MakeHybrid(p *ExecPlan, cpuWorkers int) (int, error) {
+	if p == nil {
+		return 0, fmt.Errorf("rap: nil plan")
+	}
+	if cpuWorkers <= 0 {
+		cpuWorkers = 8
+	}
+	spilled := 0
+	for g := range p.Schedules {
+		s := p.Schedules[g]
+		if len(s.Overflow) == 0 {
+			continue
+		}
+		satUs := 0.0
+		for _, k := range s.Overflow {
+			satUs += k.SaturatedWork()
+			spilled += kernelOpCount(k)
+		}
+		p.Work[g].CPUPreprocUs += satUs * HybridCPUSlowdownPerWorker / float64(cpuWorkers)
+		if p.Work[g].CPUWorkers < cpuWorkers {
+			p.Work[g].CPUWorkers = cpuWorkers
+		}
+		s.Overflow = nil
+		s.PredictedExposed = 0
+		p.PredictedExposedUs[g] = 0
+	}
+	return spilled, nil
+}
+
+func kernelOpCount(k preproc.KernelSpec) int {
+	if k.FusedCount <= 0 {
+		return 1
+	}
+	return k.FusedCount
+}

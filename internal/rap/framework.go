@@ -1,0 +1,310 @@
+package rap
+
+import (
+	"fmt"
+
+	"rap/internal/costmodel"
+	"rap/internal/dlrm"
+	"rap/internal/fusion"
+	"rap/internal/gbdt"
+	"rap/internal/gpusim"
+	"rap/internal/mapping"
+	"rap/internal/sched"
+)
+
+// MappingStrategy selects the inter-GPU graph mapping.
+type MappingStrategy string
+
+// The three strategies compared in §8.4 / Figure 12.
+const (
+	MapRAP          MappingStrategy = "rap"
+	MapDataParallel MappingStrategy = "dp"
+	MapDataLocality MappingStrategy = "dl"
+)
+
+// BuildOptions configures the online optimization pass, including the
+// Figure 10 ablation switches.
+type BuildOptions struct {
+	Strategy MappingStrategy // default MapRAP
+	// NoFusion disables horizontal fusion ("RAP w/o fusion").
+	NoFusion bool
+	// NoSharding disables resource-aware kernel sharding.
+	NoSharding bool
+	// NoInterleave disables §6.3 inter-batch workload interleaving.
+	NoInterleave bool
+	// SequentialPreproc fully exposes preprocessing (Sequential
+	// baseline semantics); plans are still built.
+	SequentialPreproc bool
+	// NaiveSchedule skips Algorithm 1: kernels launch back-to-back from
+	// the iteration start without capacity awareness (the handcrafted
+	// stream/MPS baselines of §8.1).
+	NaiveSchedule bool
+	// PreprocPriority is the simulator priority of preprocessing
+	// kernels (training runs at 1). RAP and MPS co-run at equal footing
+	// under fair sharing; the stream baseline uses a low-priority
+	// stream (0) under PrioritySpace.
+	PreprocPriority int
+	// FusionMaxNodes caps the MILP search (0 = auto).
+	FusionMaxNodes int
+}
+
+// Framework orchestrates the offline and online passes of Figure 4.
+type Framework struct {
+	W       *Workload
+	Cluster gpusim.ClusterConfig
+
+	pred *costmodel.Predictor
+}
+
+// New creates a framework for a workload on a cluster.
+func New(w *Workload, cluster gpusim.ClusterConfig) *Framework {
+	return &Framework{W: w, Cluster: cluster.WithDefaults(), pred: costmodel.AnalyticPredictor()}
+}
+
+// OfflineTrainPredictor runs the offline pass (Figure 4 step 1):
+// collect kernel latencies and train the per-category GBDT predictor.
+// Without this call the framework falls back to the analytic model.
+func (f *Framework) OfflineTrainPredictor(samples int, seed int64) (map[string]float64, error) {
+	if samples <= 0 {
+		samples = 4000
+	}
+	ds := costmodel.CollectTrainingData(samples, seed)
+	train, eval := ds.Split(0.9, seed)
+	pred, err := costmodel.TrainPredictor(train, gbdt.Config{NumTrees: 120, MaxDepth: 6, LearningRate: 0.12})
+	if err != nil {
+		return nil, err
+	}
+	f.pred = pred
+	return pred.Accuracy(eval, 0.10), nil
+}
+
+// Predictor exposes the active latency predictor.
+func (f *Framework) Predictor() *costmodel.Predictor { return f.pred }
+
+// ExecPlan is the searched co-running plan: everything needed to run
+// (or code-generate) the pipelined execution.
+type ExecPlan struct {
+	Workload *Workload
+	Cluster  gpusim.ClusterConfig
+	Opts     BuildOptions
+
+	Placement  dlrm.Placement
+	Mapping    *mapping.Result
+	Capacities [][]costmodel.StageCapacity
+	Fusions    []*fusion.Plan
+	Schedules  []*sched.Schedule
+	Work       []sched.GPUWork
+
+	// PredictedExposedUs is the cost model's per-GPU LΔ estimate.
+	PredictedExposedUs []float64
+}
+
+// TotalPredictedExposed returns the worst per-GPU predicted exposure.
+func (p *ExecPlan) TotalPredictedExposed() float64 {
+	worst := 0.0
+	for _, v := range p.PredictedExposedUs {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// BuildPlan runs the online pass (Figure 4 steps 2-3): estimate
+// overlapping capacity, map the preprocessing graphs, fuse, and search
+// the co-running schedule.
+func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
+	if opts.Strategy == "" {
+		opts.Strategy = MapRAP
+	}
+	n := f.Cluster.NumGPUs
+	pl := dlrm.PlaceTables(f.W.Model.TableSizes, n)
+
+	// Step 2: per-GPU overlapping-capacity profiles.
+	caps := make([][]costmodel.StageCapacity, n)
+	capTotals := make([]float64, n)
+	for g := 0; g < n; g++ {
+		c, err := costmodel.EstimateCapacities(f.W.Model, pl, g, f.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		caps[g] = c
+		capTotals[g] = costmodel.TotalCapacity(c)
+	}
+
+	// Step 3a: inter-GPU graph mapping. Candidate mappings are scored
+	// the way §7.2 prescribes: run the intra-GPU co-running schedule
+	// (Algorithm 1, with a fast greedy fusion) for the candidate
+	// assignment and take the cost model's exposed latency plus the
+	// communication cost of the move.
+	cost := func(gpu int, items []mapping.Assign, commBytes float64) float64 {
+		sg := make([]fusion.ScaledGraph, len(items))
+		for i, a := range items {
+			sg[i] = fusion.ScaledGraph{Graph: a.Graph, Shape: a.Shape}
+		}
+		fp, err := fusion.PlanFusionScaled(sg, fusion.Options{GreedyOnly: true, Disable: opts.NoFusion})
+		if err != nil {
+			return 1e18
+		}
+		cm, err := costmodel.NewCostModel(f.pred, caps[gpu])
+		if err != nil {
+			return 1e18
+		}
+		s, err := sched.CoRunSchedule(fp, cm, sched.Options{DisableSharding: opts.NoSharding})
+		if err != nil {
+			return 1e18
+		}
+		return s.PredictedExposed + commBytes*ScatterInefficiency/(f.Cluster.LinkGBs*1e3)
+	}
+	mcfg := mapping.Config{
+		Plan:           f.W.Plan,
+		Placement:      pl,
+		PerGPUBatch:    f.W.Model.BatchSize,
+		LinkGBs:        f.Cluster.LinkGBs,
+		CapacityPerGPU: capTotals,
+		Cost:           cost,
+	}
+	var mapped *mapping.Result
+	var err error
+	switch opts.Strategy {
+	case MapRAP:
+		mapped, err = mapping.RAPSearch(mcfg)
+	case MapDataParallel:
+		mapped, err = mapping.DataParallel(mcfg)
+	case MapDataLocality:
+		mapped, err = mapping.DataLocality(mcfg)
+	default:
+		return nil, fmt.Errorf("rap: unknown mapping strategy %q", opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3b: per-GPU fusion + co-run schedule.
+	plan := &ExecPlan{
+		Workload:   f.W,
+		Cluster:    f.Cluster,
+		Opts:       opts,
+		Placement:  pl,
+		Mapping:    mapped,
+		Capacities: caps,
+		Fusions:    make([]*fusion.Plan, n),
+		Schedules:  make([]*sched.Schedule, n),
+		Work:       make([]sched.GPUWork, n),
+	}
+	plan.PredictedExposedUs = make([]float64, n)
+	for g := 0; g < n; g++ {
+		items := make([]fusion.ScaledGraph, len(mapped.PerGPU[g]))
+		for i, a := range mapped.PerGPU[g] {
+			items[i] = fusion.ScaledGraph{Graph: a.Graph, Shape: a.Shape}
+		}
+		fp, err := fusion.PlanFusionScaled(items, fusion.Options{
+			Disable:  opts.NoFusion,
+			MaxNodes: opts.FusionMaxNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.Fusions[g] = fp
+		cm, err := costmodel.NewCostModel(f.pred, caps[g])
+		if err != nil {
+			return nil, err
+		}
+		var s *sched.Schedule
+		if opts.NaiveSchedule {
+			s = sched.SequentialSchedule(fp.Kernels(), len(caps[g]))
+			s.PredictedExposed = cm.ExposedLatencyClamped(fp.Kernels())
+		} else {
+			s, err = sched.CoRunSchedule(fp, cm, sched.Options{DisableSharding: opts.NoSharding})
+			if err != nil {
+				return nil, err
+			}
+		}
+		plan.Schedules[g] = s
+		plan.PredictedExposedUs[g] = s.PredictedExposed
+		plan.Work[g] = sched.GPUWork{
+			Schedule:       s,
+			InputCommBytes: mapped.CommBytes[g] * ScatterInefficiency,
+			PrepBytes:      rawInputBytes(mapped.PerGPU[g]),
+			CPUPrepUs:      hostPrepUs(s),
+		}
+	}
+	return plan, nil
+}
+
+// ScatterInefficiency converts mapping-induced input-communication
+// volume into effective wire time: preprocessed ids move as many small
+// per-feature messages interleaved with training collectives, achieving
+// a fraction of NVLink peak (the reason batch-parallel mapping's input
+// communication sits so visibly on the critical path in Figure 12).
+const ScatterInefficiency = 8.0
+
+// rawInputBytes estimates the host-to-device volume of one batch's raw
+// inputs for a GPU's assignment.
+func rawInputBytes(items []mapping.Assign) float64 {
+	total := 0.0
+	for _, a := range items {
+		if len(a.Graph.Outputs) > 0 {
+			total += float64(a.Shape.Samples) * a.Shape.AvgListLen * 8
+		} else {
+			total += float64(a.Shape.Samples) * 4
+		}
+	}
+	return total
+}
+
+// hostPrepUs models host-side data preparation (allocation, batching):
+// a base cost plus a per-kernel share.
+func hostPrepUs(s *sched.Schedule) float64 {
+	return 20 + 0.5*float64(s.TotalKernels())
+}
+
+// Execute simulates the pipelined plan for the given iteration count.
+func (f *Framework) Execute(p *ExecPlan, iterations int) (*sched.PipelineStats, error) {
+	streams := 1
+	if p.Opts.NaiveSchedule && !p.Opts.SequentialPreproc && p.Opts.PreprocPriority >= 1 {
+		// The MPS baseline's preprocessing process runs 8 workers, all
+		// issuing kernels concurrently with no resource awareness
+		// (§8.1); the CUDA-stream baseline uses a single extra stream.
+		streams = 8
+	}
+	return sched.BuildAndRun(p.Cluster, f.W.Model, p.Placement, p.Work, sched.PipelineOptions{
+		Iterations:        iterations,
+		Interleave:        !p.Opts.NoInterleave && !p.Opts.SequentialPreproc,
+		SequentialPreproc: p.Opts.SequentialPreproc,
+		PreprocPriority:   p.Opts.PreprocPriority,
+		PreprocStreams:    streams,
+	})
+}
+
+// IdealThroughput returns the no-preprocessing upper bound (samples/s):
+// training iterations back to back.
+func (f *Framework) IdealThroughput() float64 {
+	pl := dlrm.PlaceTables(f.W.Model.TableSizes, f.Cluster.NumGPUs)
+	iter := f.W.Model.IterationSoloLatency(pl, f.Cluster.LinkGBs)
+	if iter <= 0 {
+		return 0
+	}
+	globalBatch := float64(f.W.Model.BatchSize) * float64(f.Cluster.NumGPUs)
+	return globalBatch / (iter * 1e-6)
+}
+
+// PreprocessOnly measures the standalone preprocessing latency of one
+// global batch under the plan's mapping and fusion (no training
+// co-running) — the denominator of the paper's "sequential GPU-based
+// preprocessing" comparisons.
+func (f *Framework) PreprocessOnly(p *ExecPlan) (float64, error) {
+	sim := gpusim.NewSim(p.Cluster)
+	for g := 0; g < p.Cluster.NumGPUs; g++ {
+		stream := fmt.Sprintf("pre/g%d", g)
+		for _, spec := range p.Schedules[g].AllKernels() {
+			k := spec.Kernel()
+			sim.AddKernel(g, k, gpusim.WithStream(stream))
+		}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

@@ -1,0 +1,173 @@
+// Package rap is the end-to-end framework of the paper: it bundles a
+// DLRM training workload with its input-preprocessing plan, runs the
+// offline pass (latency-predictor training), the online pass
+// (overlapping-capacity estimation → MILP horizontal fusion → joint
+// mapping + co-run schedule search, §4 Figure 4), lowers the searched
+// plan into an executable pipeline on the simulated cluster, and can
+// also execute the pipeline functionally (real data transforms feeding
+// a real hybrid-parallel trainer).
+package rap
+
+import (
+	"fmt"
+
+	"rap/internal/data"
+	"rap/internal/dlrm"
+	"rap/internal/preproc"
+)
+
+// Dataset selects the Table 2 row.
+type Dataset string
+
+// The two evaluation datasets.
+const (
+	Kaggle   Dataset = "kaggle"
+	Terabyte Dataset = "terabyte"
+)
+
+// GeneratedTableHash is the hash size of embedding tables created by
+// feature generation (NGram/OneHot/Bucketize outputs).
+const GeneratedTableHash = 200_000
+
+// Workload bundles the three consistent views of one experiment: the
+// synthetic data generator, the DLRM model and the preprocessing plan.
+type Workload struct {
+	Dataset Dataset
+	PlanIdx int
+	Gen     data.GenConfig
+	Model   dlrm.Config
+	Plan    *preproc.Plan
+}
+
+// NewWorkload builds the workload for a dataset, Table 3 plan index and
+// per-GPU batch size.
+func NewWorkload(ds Dataset, planIdx, perGPUBatch int, seed int64) (*Workload, error) {
+	var base data.GenConfig
+	switch ds {
+	case Kaggle:
+		base = data.KaggleGen(seed)
+	case Terabyte:
+		base = data.TerabyteGen(seed)
+	default:
+		return nil, fmt.Errorf("rap: unknown dataset %q", ds)
+	}
+	// Raw-feature hash sizes extend the dataset profile cyclically for
+	// the wider plans (2/3); generated tables get a fixed size.
+	rawHash := func(t int) int64 {
+		return base.HashSizes[t%len(base.HashSizes)]
+	}
+	var plan *preproc.Plan
+	planHash := func(t int) int64 {
+		if plan != nil && t >= plan.NumSparse {
+			return GeneratedTableHash
+		}
+		return rawHash(t)
+	}
+	// Two-phase: plan construction consults planHash, which needs the
+	// plan's NumSparse; build once with raw sizes to learn the shape,
+	// then once more with the final sizer.
+	probe, err := preproc.StandardPlan(planIdx, rawHash)
+	if err != nil {
+		return nil, err
+	}
+	plan = probe
+	plan, err = preproc.StandardPlan(planIdx, planHash)
+	if err != nil {
+		return nil, err
+	}
+
+	gen := base
+	gen.NumDense = plan.NumDense
+	gen.NumSparse = plan.NumSparse
+	sizes := make([]int64, plan.NumSparse)
+	for i := range sizes {
+		sizes[i] = rawHash(i)
+	}
+	gen.HashSizes = sizes
+
+	tableSizes := make([]int64, plan.NumTables)
+	for t := range tableSizes {
+		tableSizes[t] = planHash(t)
+	}
+	var model dlrm.Config
+	if ds == Kaggle {
+		model = dlrm.KaggleConfig(tableSizes, perGPUBatch)
+	} else {
+		model = dlrm.TerabyteConfig(tableSizes, perGPUBatch)
+	}
+	model.NumDense = plan.NumDense
+	model.AvgPooling = plan.AvgListLen
+
+	w := &Workload{Dataset: ds, PlanIdx: planIdx, Gen: gen, Model: model, Plan: plan}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SkewedWorkload builds the Figure 12 workload: Terabyte model with the
+// skewed preprocessing plan.
+func SkewedWorkload(heavyFeatures, perGPUBatch int, seed int64) (*Workload, error) {
+	base := data.TerabyteGen(seed)
+	rawHash := func(t int) int64 { return base.HashSizes[t%len(base.HashSizes)] }
+	plan := preproc.SkewedPlan(heavyFeatures, func(t int) int64 {
+		if t >= 26 {
+			return GeneratedTableHash
+		}
+		return rawHash(t)
+	})
+	tableSizes := make([]int64, plan.NumTables)
+	for t := range tableSizes {
+		if t >= 26 {
+			tableSizes[t] = GeneratedTableHash
+		} else {
+			tableSizes[t] = rawHash(t)
+		}
+	}
+	model := dlrm.TerabyteConfig(tableSizes, perGPUBatch)
+	model.NumDense = plan.NumDense
+	model.AvgPooling = plan.AvgListLen
+	gen := base
+	gen.NumDense = plan.NumDense
+	gen.NumSparse = plan.NumSparse
+	w := &Workload{Dataset: Terabyte, PlanIdx: -1, Gen: gen, Model: model, Plan: plan}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ShrinkForFunctional returns a copy of the workload with a small model
+// architecture (narrow MLPs, small embedding dim) for data-level
+// functional runs, where learning dynamics — not capacity — are under
+// test. The preprocessing plan and feature shapes are unchanged.
+func (w *Workload) ShrinkForFunctional() *Workload {
+	out := *w
+	model := w.Model
+	model.EmbeddingDim = 16
+	model.BottomArch = []int{32}
+	model.TopArch = []int{64}
+	out.Model = model
+	return &out
+}
+
+// Validate checks the cross-component invariants.
+func (w *Workload) Validate() error {
+	if err := w.Plan.Validate(); err != nil {
+		return err
+	}
+	if err := w.Model.Validate(); err != nil {
+		return err
+	}
+	if w.Model.NumTables() != w.Plan.NumTables {
+		return fmt.Errorf("rap: model has %d tables, plan feeds %d", w.Model.NumTables(), w.Plan.NumTables)
+	}
+	if w.Model.NumDense != w.Plan.NumDense {
+		return fmt.Errorf("rap: model expects %d dense features, plan outputs %d", w.Model.NumDense, w.Plan.NumDense)
+	}
+	if w.Gen.NumDense != w.Plan.NumDense || w.Gen.NumSparse != w.Plan.NumSparse {
+		return fmt.Errorf("rap: generator shape %d/%d does not match plan %d/%d",
+			w.Gen.NumDense, w.Gen.NumSparse, w.Plan.NumDense, w.Plan.NumSparse)
+	}
+	return nil
+}

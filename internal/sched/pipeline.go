@@ -1,0 +1,300 @@
+package sched
+
+import (
+	"fmt"
+
+	"rap/internal/dlrm"
+	"rap/internal/gpusim"
+)
+
+// GPUWork is the per-GPU, per-batch preprocessing workload handed to the
+// pipeline builder.
+type GPUWork struct {
+	// Schedule holds the GPU preprocessing kernels and their stage
+	// assignment (nil means no GPU preprocessing on this GPU).
+	Schedule *Schedule
+	// InputCommBytes is cross-GPU input communication this GPU must
+	// perform after preprocessing a batch (non-zero under mappings that
+	// violate data locality, e.g. batch/data-parallel mapping).
+	InputCommBytes float64
+	// PrepBytes is the host-to-device copy volume of one raw batch.
+	PrepBytes float64
+	// CPUPrepUs is host-side data-preparation time per batch (memory
+	// allocation, unpacking) preceding the copy.
+	CPUPrepUs float64
+	// CPUPreprocUs, when positive, replaces the GPU kernel schedule with
+	// CPU-side preprocessing of that duration (the TorchArrow baseline).
+	CPUPreprocUs float64
+	// CPUWorkers is the host worker count used by CPU ops (default 8,
+	// the paper's per-GPU TorchArrow worker count).
+	CPUWorkers int
+}
+
+func (w GPUWork) workers() int {
+	if w.CPUWorkers <= 0 {
+		return 8
+	}
+	return w.CPUWorkers
+}
+
+// PipelineOptions controls pipeline construction.
+type PipelineOptions struct {
+	Iterations int
+	// Warmup iterations excluded from steady-state measurement
+	// (default 2, min 1 when Iterations allows).
+	Warmup int
+	// Interleave enables §6.3 inter-batch workload interleaving: the
+	// data preparation of batch n+1 overlaps the preprocessing kernels
+	// of batch n instead of serializing before its own kernels.
+	Interleave bool
+	// SequentialPreproc exposes all preprocessing: kernels run between
+	// iterations instead of co-running (the Sequential baseline).
+	SequentialPreproc bool
+	// PreprocPriority is the simulator priority of preprocessing kernels
+	// (training runs at priority 1). Equal priority (1) models MPS-style
+	// fair sharing; lower (0) models low-priority CUDA streams.
+	PreprocPriority int
+	// PreprocStreams is the number of concurrent preprocessing streams
+	// (default 1). The handcrafted baselines launch kernels from several
+	// worker streams at once, which is exactly what creates their GPU
+	// resource contention (§8.2); kernels are distributed round-robin,
+	// a slight over-approximation of the baselines' parallelism.
+	PreprocStreams int
+}
+
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 8
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2
+	}
+	if o.Warmup >= o.Iterations {
+		o.Warmup = o.Iterations - 1
+	}
+	if o.PreprocStreams <= 0 {
+		o.PreprocStreams = 1
+	}
+	return o
+}
+
+// PipelineStats is the outcome of a pipelined training run.
+type PipelineStats struct {
+	Result *gpusim.Result
+	// IterEnds[i] is the completion time of iteration i (µs).
+	IterEnds []float64
+	// SteadyIterLatency is the mean per-iteration latency after warmup.
+	SteadyIterLatency float64
+	// Throughput is global samples per second after warmup.
+	Throughput float64
+	// TrainOnlyLatency is the analytic contention-free iteration
+	// latency, for exposed-overhead accounting.
+	TrainOnlyLatency float64
+}
+
+// ExposedFraction is (steady latency − train-only latency) / train-only
+// latency: how much preprocessing remained exposed.
+func (p *PipelineStats) ExposedFraction() float64 {
+	if p.TrainOnlyLatency <= 0 {
+		return 0
+	}
+	f := (p.SteadyIterLatency - p.TrainOnlyLatency) / p.TrainOnlyLatency
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// BuildAndRun constructs the full pipelined DLRM-training +
+// preprocessing DAG and simulates it. work must have one entry per GPU.
+func BuildAndRun(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placement, work []GPUWork, opts PipelineOptions) (*PipelineStats, error) {
+	cluster = cluster.WithDefaults()
+	opts = opts.withDefaults()
+	if len(work) != cluster.NumGPUs {
+		return nil, fmt.Errorf("sched: %d work entries for %d GPUs", len(work), cluster.NumGPUs)
+	}
+	if pl.NumGPUs != cluster.NumGPUs {
+		return nil, fmt.Errorf("sched: placement has %d GPUs, cluster %d", pl.NumGPUs, cluster.NumGPUs)
+	}
+	sim := gpusim.NewSim(cluster)
+
+	iterHandles := make([]dlrm.IterHandle, opts.Iterations)
+	for i := 0; i < opts.Iterations; i++ {
+		extra := make([][]gpusim.OpID, cluster.NumGPUs)
+		for g := 0; g < cluster.NumGPUs; g++ {
+			gates, err := addBatchPreproc(sim, g, i, work[g], iterHandles, opts)
+			if err != nil {
+				return nil, err
+			}
+			extra[g] = append(extra[g], gates...)
+			if i > 0 {
+				extra[g] = append(extra[g], iterHandles[i-1].End)
+			}
+		}
+		h, err := cfg.AddIteration(sim, pl, i, extra)
+		if err != nil {
+			return nil, err
+		}
+		iterHandles[i] = h
+	}
+
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	stats := &PipelineStats{
+		Result:           res,
+		TrainOnlyLatency: cfg.IterationSoloLatency(pl, cluster.LinkGBs),
+	}
+	for i := range iterHandles {
+		stats.IterEnds = append(stats.IterEnds, res.OpByID(iterHandles[i].End).End)
+	}
+	steadyIters := opts.Iterations - opts.Warmup
+	steadyTime := stats.IterEnds[opts.Iterations-1] - stats.IterEnds[opts.Warmup-1]
+	if steadyIters > 0 && steadyTime > 0 {
+		stats.SteadyIterLatency = steadyTime / float64(steadyIters)
+		globalBatch := float64(cfg.BatchSize) * float64(cluster.NumGPUs)
+		stats.Throughput = globalBatch * float64(steadyIters) / (steadyTime * 1e-6)
+	}
+	return stats, nil
+}
+
+// addBatchPreproc schedules the preprocessing of batch i on GPU g and
+// returns the ops the consuming iteration must wait for.
+//
+// Batch i is consumed by iteration i; its preprocessing co-runs with
+// iteration i-1 (anchored to that iteration's stages). Data preparation
+// for batch i serializes before batch i's kernels without interleaving,
+// or overlaps batch i-1's kernels (anchored one iteration earlier) with
+// §6.3 interleaving.
+func addBatchPreproc(sim *gpusim.Sim, g, i int, w GPUWork, handles []dlrm.IterHandle, opts PipelineOptions) ([]gpusim.OpID, error) {
+	prepStream := fmt.Sprintf("prep/g%d", g)
+	preStream := fmt.Sprintf("pre/g%d", g)
+	nextStream := 0
+	kernelStream := func() string {
+		if opts.PreprocStreams <= 1 {
+			return preStream
+		}
+		s := fmt.Sprintf("%s/s%d", preStream, nextStream)
+		nextStream = (nextStream + 1) % opts.PreprocStreams
+		return s
+	}
+	last := gpusim.OpID(-1)
+
+	// Anchors: kernels of batch i align with iteration i-1; interleaved
+	// data preparation aligns with iteration i-2.
+	kernelAnchor := func(stage int) []gpusim.OpID {
+		if i == 0 {
+			return nil
+		}
+		return handles[i-1].StageStartDeps[g][stage]
+	}
+	prepAnchor := func() []gpusim.OpID {
+		if opts.Interleave {
+			if i < 2 {
+				return nil
+			}
+			return []gpusim.OpID{handles[i-2].End}
+		}
+		if i == 0 {
+			return nil
+		}
+		return handles[i-1].StageStartDeps[g][0]
+	}
+
+	// Data preparation: host-side prep then H2D copy.
+	var prepOps []gpusim.OpID
+	if w.CPUPrepUs > 0 {
+		id := sim.AddCPU(fmt.Sprintf("b%d/g%d/prep", i, g), w.CPUPrepUs, w.workers(),
+			gpusim.WithStream(prepStream), gpusim.WithDeps(prepAnchor()...))
+		prepOps = append(prepOps, id)
+		last = id
+	}
+	if w.PrepBytes > 0 {
+		id := sim.AddHostCopy(fmt.Sprintf("b%d/g%d/h2d", i, g), g, w.PrepBytes,
+			gpusim.WithStream(prepStream), gpusim.WithDeps(prepAnchor()...))
+		prepOps = append(prepOps, id)
+		last = id
+	}
+
+	// CPU preprocessing: alone (TorchArrow) or concurrent with the GPU
+	// kernels (hybrid §10 mode). It runs on its own stream so it never
+	// serializes behind GPU kernels.
+	var gates []gpusim.OpID
+	if w.CPUPreprocUs > 0 {
+		deps := append([]gpusim.OpID(nil), prepOps...)
+		if i > 0 {
+			// Pipeline the CPU work against the previous iteration.
+			deps = append(deps, handles[i-1].StageStartDeps[g][0]...)
+		}
+		id := sim.AddCPU(fmt.Sprintf("b%d/g%d/cpu_preproc", i, g), w.CPUPreprocUs, w.workers(),
+			gpusim.WithStream(fmt.Sprintf("cpupre/g%d", g)), gpusim.WithDeps(deps...))
+		gates = append(gates, id)
+		if w.Schedule == nil {
+			return append(gates, finishCommGates(sim, g, i, w, id, preStream)...), nil
+		}
+	}
+
+	if w.Schedule == nil {
+		if last >= 0 {
+			gates = append(gates, last)
+		}
+		return gates, nil
+	}
+
+	// GPU preprocessing kernels, serialized on the preprocessing stream,
+	// each anchored to its assigned training stage.
+	addKernel := func(spec interface{ Kernel() gpusim.Kernel }, deps []gpusim.OpID) gpusim.OpID {
+		k := spec.Kernel()
+		k.Name = fmt.Sprintf("b%d/g%d/%s", i, g, k.Name)
+		return sim.AddKernel(g, k,
+			gpusim.WithStream(kernelStream()),
+			gpusim.WithDeps(deps...),
+			gpusim.WithPriority(opts.PreprocPriority))
+	}
+	numStages := len(w.Schedule.PerStage)
+	for s := 0; s < numStages; s++ {
+		for _, spec := range w.Schedule.PerStage[s] {
+			var deps []gpusim.OpID
+			if opts.SequentialPreproc {
+				if i > 0 {
+					deps = append(deps, handles[i-1].End)
+				}
+			} else {
+				deps = append(deps, kernelAnchor(s)...)
+			}
+			deps = append(deps, prepOps...)
+			last = addKernel(spec, deps)
+		}
+	}
+	for _, spec := range w.Schedule.Overflow {
+		var deps []gpusim.OpID
+		if opts.SequentialPreproc && i > 0 {
+			deps = append(deps, handles[i-1].End)
+		} else if !opts.SequentialPreproc && numStages > 0 {
+			deps = append(deps, kernelAnchor(numStages-1)...)
+		}
+		deps = append(deps, prepOps...)
+		last = addKernel(spec, deps)
+	}
+	return append(gates, finishCommGates(sim, g, i, w, last, preStream)...), nil
+}
+
+// finishCommGates appends the mapping-induced input communication after
+// the batch's preprocessing, if any, returning the op(s) that gate the
+// consuming iteration.
+func finishCommGates(sim *gpusim.Sim, g, i int, w GPUWork, last gpusim.OpID, stream string) []gpusim.OpID {
+	if w.InputCommBytes <= 0 {
+		if last < 0 {
+			return nil
+		}
+		return []gpusim.OpID{last}
+	}
+	var deps []gpusim.OpID
+	if last >= 0 {
+		deps = append(deps, last)
+	}
+	id := sim.AddLinkBusy(fmt.Sprintf("b%d/g%d/input_comm", i, g), g, w.InputCommBytes,
+		gpusim.WithStream(stream), gpusim.WithDeps(deps...))
+	return []gpusim.OpID{id}
+}

@@ -1,0 +1,247 @@
+// Package sched implements RAP's resource-aware co-running scheduling:
+// Algorithm 1 of the paper (assign fused preprocessing kernels to DLRM
+// training stages by overlapping capacity, sharding kernels that exceed
+// the remaining headroom) and the §6.3 inter-batch workload interleaving
+// executed by the pipeline builder.
+package sched
+
+import (
+	"fmt"
+
+	"rap/internal/costmodel"
+	"rap/internal/fusion"
+	"rap/internal/preproc"
+)
+
+// Options tunes Algorithm 1.
+type Options struct {
+	// MinShardLatency is the smallest useful shard (µs); leftover stage
+	// capacity below it is skipped rather than sharded into dust.
+	MinShardLatency float64
+	// DisableSharding turns resource-aware kernel sharding off (kernels
+	// are only placed whole) — for ablation studies.
+	DisableSharding bool
+	// PackFraction is the share of each stage's capacity the scheduler
+	// actually fills (default 0.8). Packing to 100% makes every stream
+	// backlog cascade into later, tighter stages where the oversized
+	// pieces contend with training; leftover work instead overflows to
+	// the inter-iteration gap where it runs fused at full occupancy.
+	PackFraction float64
+}
+
+// DemandSlack adjusts the headroom target when fitting a shard's demand
+// into a stage's leftover. It is slightly negative: co-running pieces
+// stay strictly inside the headroom so the training stages they overlap
+// are never stretched; work that does not fit runs fused at full
+// occupancy in the inter-iteration gap instead, which is cheaper than
+// stretching every stage (superlinear contention).
+const DemandSlack = -0.03
+
+// MaxCoRunOcc caps the occupancy of any co-running piece, even in
+// stages with full headroom (communication stages): a piece that slides
+// past its stage boundary because the preprocessing stream is backed up
+// must not be able to flatten the next compute stage.
+const MaxCoRunOcc = 0.4
+
+func (o Options) withDefaults() Options {
+	if o.MinShardLatency <= 0 {
+		o.MinShardLatency = 8
+	}
+	if o.PackFraction <= 0 || o.PackFraction > 1 {
+		o.PackFraction = 0.8
+	}
+	return o
+}
+
+// Schedule is the co-running plan of one GPU for one batch's
+// preprocessing: which (possibly sharded) kernels overlap which training
+// stage, in launch order.
+type Schedule struct {
+	// PerStage[s] holds the kernels overlapped with training stage s.
+	// Kernels must be launched stage by stage, in slice order (the
+	// preprocessing stream serializes them).
+	PerStage [][]preproc.KernelSpec
+	// Overflow holds kernels that did not fit into any stage's
+	// remaining capacity; they run after the iteration's stages and are
+	// the predicted exposed latency.
+	Overflow []preproc.KernelSpec
+	// PredictedExposed is the cost model's LΔ estimate for this schedule
+	// (0 when everything is hidden).
+	PredictedExposed float64
+	// NumShards counts the resource-aware shard splits performed.
+	NumShards int
+}
+
+// TotalKernels counts all scheduled kernels including overflow.
+func (s *Schedule) TotalKernels() int {
+	n := len(s.Overflow)
+	for _, ks := range s.PerStage {
+		n += len(ks)
+	}
+	return n
+}
+
+// AllKernels returns the launch-ordered kernel sequence.
+func (s *Schedule) AllKernels() []preproc.KernelSpec {
+	var out []preproc.KernelSpec
+	for _, ks := range s.PerStage {
+		out = append(out, ks...)
+	}
+	return append(out, s.Overflow...)
+}
+
+// CoRunSchedule is Algorithm 1: it takes the fused kernel plan of one
+// GPU and the profiled stage capacities and greedily assigns kernels to
+// training stages, sharding a kernel when the remaining capacity of the
+// current stage cannot hold it whole.
+func CoRunSchedule(plan *fusion.Plan, cm *costmodel.CostModel, opts Options) (*Schedule, error) {
+	if plan == nil || cm == nil {
+		return nil, fmt.Errorf("sched: nil plan or cost model")
+	}
+	opts = opts.withDefaults()
+	numStages := len(cm.Caps)
+	out := &Schedule{PerStage: make([][]preproc.KernelSpec, numStages)}
+
+	// Lines 2-5: total predicted preprocessing latency.
+	queue := plan.Kernels()
+	total := 0.0
+	for _, k := range queue {
+		total += cm.Pred.Predict(k)
+	}
+
+	// Lines 6-12: pick stages by capacity, largest first, until the
+	// budget covers the workload.
+	type capStage struct {
+		idx int
+		cap float64
+	}
+	sorted := make([]capStage, numStages)
+	for i, c := range cm.Caps {
+		sorted[i] = capStage{i, c.Capacity}
+	}
+	for i := 1; i < len(sorted); i++ { // insertion sort: stable, tiny n
+		for j := i; j > 0 && sorted[j].cap > sorted[j-1].cap; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	// A 25% margin absorbs the launch overhead added by sharding, which
+	// the pre-fusion latency sum cannot see.
+	selected := make([]bool, numStages)
+	budget := 0.0
+	for _, cs := range sorted {
+		if budget >= total*1.25 {
+			break
+		}
+		selected[cs.idx] = true
+		budget += cs.cap
+	}
+
+	// Lines 13-29: greedy assignment in training-stage order; the kernel
+	// queue order preserves fusion-step dependencies (the preprocessing
+	// stream launches kernels in assignment order). A kernel is placed
+	// whole only when both constraints hold: its predicted latency fits
+	// the stage's remaining capacity AND its resource demand fits the
+	// stage's leftover headroom. Otherwise it is sharded (lines 21-26):
+	// demand-oversized kernels split into headroom-fitting pieces that
+	// serialize within the stage, capacity-oversized ones spill forward.
+	assign := func(queue []preproc.KernelSpec, selected []bool) (perStage [][]preproc.KernelSpec, overflow []preproc.KernelSpec, shards int) {
+		perStage = make([][]preproc.KernelSpec, numStages)
+		pos := 0
+		for s := 0; s < numStages && pos < len(queue); s++ {
+			if !selected[s] {
+				continue
+			}
+			remaining := cm.Caps[s].Capacity * opts.PackFraction
+			leftover := cm.Caps[s].Leftover
+			for pos < len(queue) {
+				k := queue[pos]
+				p := cm.Pred.Predict(k)
+				if p <= 0 {
+					pos++
+					continue
+				}
+				occCap := leftover.SM + DemandSlack
+				if occCap > MaxCoRunOcc {
+					occCap = MaxCoRunOcc
+				}
+				demandMax := k.MaxElementsForDemand(occCap, leftover.MemBW+DemandSlack)
+				if demandMax <= 0 {
+					break // this stage can never host this kernel type
+				}
+				frac := 1.0
+				if k.Elements > demandMax {
+					frac = demandMax / k.Elements
+				}
+				if capFrac := remaining / p; capFrac < frac {
+					frac = capFrac
+				}
+				if frac >= 1 {
+					perStage[s] = append(perStage[s], k)
+					remaining -= p
+					pos++
+					continue
+				}
+				if opts.DisableSharding || remaining < opts.MinShardLatency {
+					break // stage full; spill to the next selected stage
+				}
+				k1, k2 := k.Shard(frac)
+				p1 := cm.Pred.Predict(k1)
+				if p1 > remaining && frac > 0.002 {
+					// A demand-limited shard runs at leftover speed, so
+					// its latency exceeds the naive frac·p estimate;
+					// shrink it to the remaining capacity.
+					k1, k2 = k.Shard(frac * remaining / p1)
+					p1 = cm.Pred.Predict(k1)
+				}
+				if p1 < opts.MinShardLatency || p1 > remaining+opts.MinShardLatency {
+					break // no useful piece fits this stage
+				}
+				perStage[s] = append(perStage[s], k1)
+				remaining -= p1
+				shards++
+				queue[pos] = k2
+				// Keep filling this stage: more pieces may fit.
+			}
+		}
+		overflow = append(overflow, queue[pos:]...)
+		return perStage, overflow, shards
+	}
+
+	perStage, overflow, shards := assign(append([]preproc.KernelSpec(nil), queue...), selected)
+	if len(overflow) > 0 {
+		// The selected stages were not enough (sharding overhead, demand
+		// limits): redo the assignment over every stage, preserving launch
+		// order, before declaring latency exposed.
+		all := make([]bool, numStages)
+		for i := range all {
+			all[i] = true
+		}
+		perStage, overflow, shards = assign(append([]preproc.KernelSpec(nil), queue...), all)
+	}
+	out.PerStage = perStage
+	out.Overflow = overflow
+	out.NumShards = shards
+
+	cost, err := cm.ScheduleCost(out.PerStage)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range out.Overflow {
+		cost += cm.Pred.Predict(k)
+	}
+	out.PredictedExposed = cost
+	return out, nil
+}
+
+// SequentialSchedule places every kernel into the first stage's slot
+// without capacity awareness — the handcrafted-baseline behaviour
+// (stream/MPS: launch everything immediately, §8.2).
+func SequentialSchedule(kernels []preproc.KernelSpec, numStages int) *Schedule {
+	s := &Schedule{PerStage: make([][]preproc.KernelSpec, numStages)}
+	if numStages == 0 {
+		s.Overflow = append(s.Overflow, kernels...)
+		return s
+	}
+	s.PerStage[0] = append(s.PerStage[0], kernels...)
+	return s
+}

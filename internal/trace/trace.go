@@ -1,0 +1,126 @@
+// Package trace post-processes simulator results into the artifacts the
+// paper's figures are built from: resampled utilization series (Figure
+// 1a), tag-attributed utilization summaries (Table 4), CSV exports and
+// turning-point detection (Figure 11).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rap/internal/gpusim"
+)
+
+// WriteUtilCSV writes GPU g's resampled utilization series as CSV
+// (t_us, sm, membw).
+func WriteUtilCSV(w io.Writer, res *gpusim.Result, g int, dt float64) error {
+	if _, err := fmt.Fprintln(w, "t_us,sm,membw"); err != nil {
+		return err
+	}
+	for _, s := range res.UtilSeries(g, dt) {
+		if _, err := fmt.Fprintf(w, "%.2f,%.4f,%.4f\n", s.T, s.SM, s.MemBW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteOpsCSV writes the op timeline (name, tag, gpu, start, end) sorted
+// by start time.
+func WriteOpsCSV(w io.Writer, res *gpusim.Result) error {
+	ops := append([]gpusim.OpResult(nil), res.Ops...)
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		return ops[i].ID < ops[j].ID
+	})
+	if _, err := fmt.Fprintln(w, "name,tag,gpu,start_us,end_us"); err != nil {
+		return err
+	}
+	for _, o := range ops {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.2f,%.2f\n", o.Name, o.Tag, o.GPU, o.Start, o.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UtilSummary is the Table 4 metric pair for one GPU.
+type UtilSummary struct {
+	// GPUUtil is the fraction of time with any kernel resident (the
+	// NVML "GPU utilization" analogue).
+	GPUUtil float64
+	// SMUtil is the mean granted SM utilization.
+	SMUtil float64
+	// TagSM attributes mean SM utilization by kernel tag.
+	TagSM map[string]float64
+}
+
+// Summarize computes the utilization summary of GPU g over [0, upTo]
+// (upTo <= 0 = makespan).
+func Summarize(res *gpusim.Result, g int, upTo float64) UtilSummary {
+	if upTo <= 0 {
+		upTo = res.Makespan
+	}
+	sm, _ := res.AvgUtil(g, upTo)
+	out := UtilSummary{
+		GPUUtil: res.BusyFraction(g, upTo),
+		SMUtil:  sm,
+		TagSM:   map[string]float64{},
+	}
+	if upTo == 0 {
+		return out
+	}
+	for _, seg := range res.Util[g] {
+		s, e := seg.Start, seg.End
+		if s >= upTo {
+			break
+		}
+		if e > upTo {
+			e = upTo
+		}
+		for tag, v := range seg.TagSM {
+			out.TagSM[tag] += v * (e - s) / upTo
+		}
+	}
+	return out
+}
+
+// MeanSummary averages summaries across GPUs.
+func MeanSummary(res *gpusim.Result, numGPUs int, upTo float64) UtilSummary {
+	agg := UtilSummary{TagSM: map[string]float64{}}
+	for g := 0; g < numGPUs; g++ {
+		s := Summarize(res, g, upTo)
+		agg.GPUUtil += s.GPUUtil
+		agg.SMUtil += s.SMUtil
+		for tag, v := range s.TagSM {
+			agg.TagSM[tag] += v
+		}
+	}
+	n := float64(numGPUs)
+	agg.GPUUtil /= n
+	agg.SMUtil /= n
+	for tag := range agg.TagSM {
+		agg.TagSM[tag] /= n
+	}
+	return agg
+}
+
+// TurningPoint returns the index of the first point in ys whose value
+// exceeds baseline by more than rel (e.g. 0.10 for the paper's "latency
+// increases by more than 10%" criterion), or -1 if none. The baseline is
+// ys[0].
+func TurningPoint(ys []float64, rel float64) int {
+	if len(ys) == 0 {
+		return -1
+	}
+	base := ys[0]
+	for i, y := range ys {
+		if y > base*(1+rel) {
+			return i
+		}
+	}
+	return -1
+}
