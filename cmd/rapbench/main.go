@@ -7,15 +7,19 @@
 //	rapbench -exp fig9 -quick        # reduced Figure 9 grid
 //	rapbench -exp fig1a,fig11,tab4   # comma-separated subset
 //	rapbench -list                   # list experiment ids
+//	rapbench -engine-bench           # time the gpusim engine, write BENCH_engine.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rap/internal/experiments"
+	"rap/internal/gpusim"
 )
 
 type renderer interface{ Render() string }
@@ -24,7 +28,17 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
 	quick := flag.Bool("quick", false, "reduced grids for slow experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	engineBench := flag.Bool("engine-bench", false, "benchmark the gpusim engine and exit")
+	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -engine-bench results")
 	flag.Parse()
+
+	if *engineBench {
+		if err := runEngineBench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: engine-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := []string{"fig1a", "fig1b", "fig1c", "fig5", "tab5", "fig9", "fig10", "fig11", "tab4", "fig12", "power"}
 	if *list {
@@ -118,4 +132,61 @@ func main() {
 		r, err := experiments.PowerStudy(1, 4)
 		show("power", r, err)
 	}
+}
+
+// runEngineBench times the gpusim engine on the canonical benchmark DAG
+// (the same workload as BenchmarkEngine) and writes the result to path
+// as JSON, for cross-commit regression tracking.
+func runEngineBench(path string) error {
+	const (
+		warmupRuns = 3
+		timedRuns  = 30
+	)
+	for i := 0; i < warmupRuns; i++ {
+		if _, err := gpusim.NewBenchmarkSim().Run(); err != nil {
+			return err
+		}
+	}
+	var total time.Duration
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < timedRuns; i++ {
+		s := gpusim.NewBenchmarkSim()
+		start := time.Now()
+		if _, err := s.Run(); err != nil {
+			return err
+		}
+		d := time.Since(start)
+		total += d
+		if d < best {
+			best = d
+		}
+	}
+	report := struct {
+		Name     string `json:"name"`
+		Runs     int    `json:"runs"`
+		NsPerOp  int64  `json:"ns_per_op"`
+		BestNs   int64  `json:"best_ns"`
+		Kernels  int    `json:"kernels"`
+		GPUs     int    `json:"gpus"`
+		Executed string `json:"executed"`
+	}{
+		Name:     "BenchmarkEngine",
+		Runs:     timedRuns,
+		NsPerOp:  total.Nanoseconds() / timedRuns,
+		BestNs:   best.Nanoseconds(),
+		Kernels:  gpusim.BenchKernels,
+		GPUs:     gpusim.BenchGPUs,
+		Executed: time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine-bench: %s/op (best %s) over %d runs -> %s\n",
+		time.Duration(report.NsPerOp), best, timedRuns, path)
+	return nil
 }

@@ -83,9 +83,10 @@ func probeCapacity(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.C
 	if probeDemand.SM <= 0 && probeDemand.MemBW <= 0 {
 		return 0
 	}
+	probeCluster := gpusim.ClusterConfig{NumGPUs: 1, Policy: gpusim.FairShare,
+		LinkGBs: cluster.LinkGBs, CopyGBs: cluster.CopyGBs}
 	fits := func(work float64) bool {
-		sim := gpusim.NewSim(gpusim.ClusterConfig{NumGPUs: 1, Policy: gpusim.FairShare,
-			LinkGBs: cluster.LinkGBs, CopyGBs: cluster.CopyGBs})
+		sim := gpusim.NewSim(probeCluster)
 		s := sim.AddKernel(0, stage)
 		p := sim.AddKernel(0, gpusim.Kernel{
 			Name: "probe", Work: work, Demand: probeDemand, Tag: "preproc",

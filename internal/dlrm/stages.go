@@ -159,30 +159,72 @@ type IterHandle struct {
 	End gpusim.OpID
 }
 
+// IterTemplate is the iteration-invariant part of a training DAG: the
+// per-GPU stage list and per-stage name suffixes, validated and derived
+// once per (Config, Placement) pair. Callers that schedule many
+// iterations — or rebuild the same pipeline hundreds of times during
+// capacity search — reuse the template instead of re-deriving identical
+// stage structure per iteration.
+type IterTemplate struct {
+	numGPUs int
+	// stages[g] is the ordered stage list of GPU g.
+	stages [][]Stage
+	// names[g][s] is "g<g>/<stage>", the iteration-independent suffix of
+	// the op name (the full name is "it<iter>/" + names[g][s]).
+	names [][]string
+}
+
+// NewIterTemplate validates cfg and pl and precomputes the per-GPU
+// training-stage structure shared by every iteration.
+func (c Config) NewIterTemplate(pl Placement) (*IterTemplate, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	n := pl.NumGPUs
+	t := &IterTemplate{
+		numGPUs: n,
+		stages:  make([][]Stage, n),
+		names:   make([][]string, n),
+	}
+	for g := 0; g < n; g++ {
+		t.stages[g] = c.IterationStages(g, pl)
+		t.names[g] = make([]string, len(t.stages[g]))
+		for s, st := range t.stages[g] {
+			t.names[g][s] = fmt.Sprintf("g%d/%s", g, st.Name)
+		}
+	}
+	return t, nil
+}
+
 // AddIteration schedules one training iteration into sim. extraDeps gate
 // the iteration start on GPU g (input availability: the preprocessing
 // and host-copy ops of the batch this iteration consumes).
 func (c Config) AddIteration(sim *gpusim.Sim, pl Placement, iter int, extraDeps [][]gpusim.OpID) (IterHandle, error) {
-	if err := c.Validate(); err != nil {
+	t, err := c.NewIterTemplate(pl)
+	if err != nil {
 		return IterHandle{}, err
 	}
-	if err := pl.Validate(); err != nil {
-		return IterHandle{}, err
+	return t.AddIteration(sim, iter, extraDeps)
+}
+
+// AddIteration schedules iteration iter from the template into sim.
+func (t *IterTemplate) AddIteration(sim *gpusim.Sim, iter int, extraDeps [][]gpusim.OpID) (IterHandle, error) {
+	if sim.Config().NumGPUs != t.numGPUs {
+		return IterHandle{}, fmt.Errorf("dlrm: placement has %d GPUs, sim has %d", t.numGPUs, sim.Config().NumGPUs)
 	}
-	if sim.Config().NumGPUs != pl.NumGPUs {
-		return IterHandle{}, fmt.Errorf("dlrm: placement has %d GPUs, sim has %d", pl.NumGPUs, sim.Config().NumGPUs)
-	}
-	n := pl.NumGPUs
+	n := t.numGPUs
 	h := IterHandle{
 		StageOps:       make([][]gpusim.OpID, n),
 		StageStartDeps: make([][][]gpusim.OpID, n),
 	}
-	stages := make([][]Stage, n)
 	for g := 0; g < n; g++ {
-		stages[g] = c.IterationStages(g, pl)
-		h.StageOps[g] = make([]gpusim.OpID, len(stages[g]))
-		h.StageStartDeps[g] = make([][]gpusim.OpID, len(stages[g]))
+		h.StageOps[g] = make([]gpusim.OpID, len(t.stages[g]))
+		h.StageStartDeps[g] = make([][]gpusim.OpID, len(t.stages[g]))
 	}
+	iterPrefix := fmt.Sprintf("it%d/", iter)
 	for s := 0; s < NumStages; s++ {
 		// Collect cross-GPU deps for collective stages.
 		var collective []gpusim.OpID
@@ -202,8 +244,8 @@ func (c Config) AddIteration(sim *gpusim.Sim, pl Placement, iter int, extraDeps 
 				deps = append(deps, h.StageOps[g][s-1])
 			}
 			h.StageStartDeps[g][s] = deps
-			st := stages[g][s]
-			name := fmt.Sprintf("it%d/g%d/%s", iter, g, st.Name)
+			st := t.stages[g][s]
+			name := iterPrefix + t.names[g][s]
 			var id gpusim.OpID
 			if st.Kind == StageComm {
 				id = sim.AddLinkBusy(name, g, st.Bytes, gpusim.WithDeps(deps...), gpusim.WithTag("train"))

@@ -2,19 +2,13 @@ package gpusim
 
 import "testing"
 
-// BenchmarkEngine measures the discrete-event engine on a dense co-run
-// DAG (1000 kernels across 8 GPUs with stream chaining).
+// BenchmarkEngine measures the discrete-event engine on the canonical
+// dense co-run DAG (see NewBenchmarkSim). `rapbench -engine-bench` runs
+// the same workload and records the result in BENCH_engine.json.
 func BenchmarkEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		s := NewSim(ClusterConfig{NumGPUs: 8})
-		for k := 0; k < 1000; k++ {
-			g := k % 8
-			s.AddKernel(g, Kernel{
-				Name: "k", Work: float64(1 + k%50),
-				Demand: Demand{SM: 0.1 + float64(k%7)*0.1, MemBW: 0.2},
-			}, WithStream("s"+string(rune('a'+k%4))))
-		}
+		s := NewBenchmarkSim()
 		b.StartTimer()
 		if _, err := s.Run(); err != nil {
 			b.Fatal(err)

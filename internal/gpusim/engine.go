@@ -3,7 +3,6 @@ package gpusim
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 const (
@@ -32,6 +31,139 @@ const (
 	PriorityBurstFactor = 2.0
 )
 
+// The engine hot path. Every RAP decision (capacity probing, Algorithm 1
+// scheduling, MILP-driven fusion evaluation, all figure reproductions)
+// replays DAGs through Run, so this file is optimized for event-loop
+// throughput under one hard invariant: results are bit-identical to the
+// straightforward rebuild-everything implementation preserved in
+// engine_reference_test.go. Three structural changes carry the win:
+//
+//   - Resources live in one dense, kind-major array indexed by
+//     kind·NumGPUs+gpu (the single host-CPU slot last) instead of a
+//     map[resKey] rebuilt per event. Each op's demands are resolved to
+//     dense indices once, at Run start.
+//   - Slowdown factors are recomputed incrementally: only resources
+//     whose running-user set changed since the previous event are
+//     marked dirty and re-derived, and only the speeds of ops touching
+//     a dirty resource are refreshed. Per-resource user lists are kept
+//     ordered by op start sequence so the recomputed loads sum in
+//     exactly the order the full rescan used — float addition is not
+//     associative, and bit-identity demands identical orders.
+//   - Utilization accounting reuses per-GPU accumulators and tag
+//     scratch buffers across events; a TagSM map is allocated only when
+//     a segment is actually appended to the timeline.
+//
+// A non-change worth recording: the next-event horizon is still a linear
+// pass over the running set, not an indexed min-heap. The reference
+// engine decrements every running op's remaining work by dt·speed on
+// every event, and replaying that float sequence exactly requires
+// touching every running op per event anyway — a heap keyed on projected
+// completion times would compute remaining time as (end − now), which
+// rounds differently and breaks bit-identity. The horizon scan shares
+// the loop the decrement already pays for.
+
+// rtDemand is one op demand resolved to its dense resource index.
+type rtDemand struct {
+	idx  int32
+	kind resKind
+	dem  float64
+}
+
+// resLevel is the aggregate demand of one priority level on a resource.
+type resLevel struct {
+	prio int
+	load float64
+}
+
+// prioFactor is the slowdown factor granted to one priority level.
+type prioFactor struct {
+	prio int
+	f    float64
+}
+
+// resUser is one op currently in its work phase using a resource.
+type resUser struct {
+	o   *op
+	dem float64
+}
+
+// resState is the engine's per-resource bookkeeping.
+type resState struct {
+	// users holds the running-phase users ordered by op start sequence
+	// (the order the running slice would enumerate them).
+	users []resUser
+	// factors caches the per-priority slowdown factors; valid until the
+	// user set changes.
+	factors []prioFactor
+	// levels is recomputation scratch, reused across events.
+	levels []resLevel
+	dirty  bool
+}
+
+func (st *resState) insertUser(o *op, dem float64) {
+	users := append(st.users, resUser{})
+	i := len(users) - 1
+	for i > 0 && users[i-1].o.startSeq > o.startSeq {
+		i--
+	}
+	copy(users[i+1:], users[i:])
+	users[i] = resUser{o: o, dem: dem}
+	st.users = users
+}
+
+func (st *resState) removeUser(o *op) {
+	for i := range st.users {
+		if st.users[i].o == o {
+			st.users = append(st.users[:i], st.users[i+1:]...)
+			return
+		}
+	}
+}
+
+// factorFor returns the cached slowdown factor for a priority level; 1
+// (no constraint) when the level has no running users.
+func (st *resState) factorFor(prio int) float64 {
+	for _, pf := range st.factors {
+		if pf.prio == prio {
+			return pf.f
+		}
+	}
+	return 1
+}
+
+// tagGrant accumulates per-tag SM grants for one GPU within one event.
+type tagGrant struct {
+	tag string
+	sm  float64
+}
+
+// engine is the per-Run state of the event loop.
+type engine struct {
+	s       *Sim
+	numGPUs int
+
+	// Dense per-(resource-kind × GPU) state; index kind·NumGPUs+gpu,
+	// with the host-wide CPU slot at position numResKinds-1 · NumGPUs.
+	res   []resState
+	dirty []int32 // indices of resources whose user set changed
+
+	// demOff/dems hold every op's demands with pre-resolved dense
+	// indices, packed flat: op o's demands are dems[demOff[o]:demOff[o+1]].
+	demOff []int32
+	dems   []rtDemand
+
+	speeds  []float64
+	running []*op
+	nextSeq int
+
+	// Reusable buffers.
+	finished []*op
+	accSM    []float64
+	accBW    []float64
+	tagAcc   [][]tagGrant
+	hostCPU  float64
+}
+
 // Run executes the accumulated op DAG and returns the timeline. A Sim is
 // single-use: Run may only be called once.
 func (s *Sim) Run() (*Result, error) {
@@ -59,23 +191,179 @@ func (s *Sim) Run() (*Result, error) {
 		}
 	}
 
+	e := newEngine(s)
+	return e.run()
+}
+
+func newEngine(s *Sim) *engine {
+	g := s.cfg.NumGPUs
+	numRes := numResKinds*g - (g - 1) // 5 per-GPU kinds ×g, one CPU slot
+	e := &engine{
+		s:       s,
+		numGPUs: g,
+		res:     make([]resState, numRes),
+		dirty:   make([]int32, 0, 32),
+		demOff:  make([]int32, len(s.ops)+1),
+		speeds:  make([]float64, len(s.ops)),
+		accSM:   make([]float64, g),
+		accBW:   make([]float64, g),
+		tagAcc:  make([][]tagGrant, g),
+	}
+	total := 0
+	for _, o := range s.ops {
+		total += len(o.demands)
+	}
+	e.dems = make([]rtDemand, 0, total)
+	for i, o := range s.ops {
+		e.demOff[i] = int32(len(e.dems))
+		for _, d := range o.demands {
+			e.dems = append(e.dems, rtDemand{
+				idx:  int32(int(d.kind)*g + d.gpu),
+				kind: d.kind,
+				dem:  d.val,
+			})
+		}
+	}
+	e.demOff[len(s.ops)] = int32(len(e.dems))
+	return e
+}
+
+func (e *engine) demandsOf(o *op) []rtDemand {
+	return e.dems[e.demOff[o.id]:e.demOff[o.id+1]]
+}
+
+func (e *engine) markDirty(idx int32) {
+	if st := &e.res[idx]; !st.dirty {
+		st.dirty = true
+		e.dirty = append(e.dirty, idx)
+	}
+}
+
+// enterWork registers an op that entered its work phase with its
+// resources. Zero-demand ops (barriers, local transfers) just run at
+// full speed.
+func (e *engine) enterWork(o *op) {
+	e.speeds[o.id] = 1
+	for _, d := range e.demandsOf(o) {
+		e.res[d.idx].insertUser(o, d.dem)
+		e.markDirty(d.idx)
+	}
+}
+
+// leaveWork unregisters a finished op from its resources.
+func (e *engine) leaveWork(o *op) {
+	for _, d := range e.demandsOf(o) {
+		e.res[d.idx].removeUser(o)
+		e.markDirty(d.idx)
+	}
+}
+
+// refreshFactors re-derives the slowdown factors of one resource from
+// its ordered user list. The math and, critically, the summation order
+// match the reference implementation's full rescan.
+func (e *engine) refreshFactors(idx int32) {
+	st := &e.res[idx]
+	st.levels = st.levels[:0]
+	for _, u := range st.users {
+		found := false
+		for i := range st.levels {
+			if st.levels[i].prio == u.o.priority {
+				st.levels[i].load += u.dem
+				found = true
+				break
+			}
+		}
+		if !found {
+			st.levels = append(st.levels, resLevel{prio: u.o.priority, load: u.dem})
+		}
+	}
+	st.factors = st.factors[:0]
+	switch e.s.cfg.Policy {
+	case PrioritySpace:
+		// Highest priority first. Insertion sort: levels are few and
+		// priorities unique, so this matches any comparison sort.
+		for i := 1; i < len(st.levels); i++ {
+			for j := i; j > 0 && st.levels[j].prio > st.levels[j-1].prio; j-- {
+				st.levels[j], st.levels[j-1] = st.levels[j-1], st.levels[j]
+			}
+		}
+		isSM := int(idx) < e.numGPUs // kind-major layout: SM block first
+		remaining := 1.0
+		for i, lv := range st.levels {
+			f := 1.0
+			if lv.load > remaining {
+				if remaining <= 0 {
+					f = 0
+				} else {
+					f = remaining / lv.load
+				}
+				remaining = 0
+			} else {
+				remaining -= lv.load
+				// Lower priorities see the burst-inflated SM footprint
+				// of this level, not its time average.
+				if isSM && i < len(st.levels)-1 {
+					burst := lv.load * (PriorityBurstFactor - 1)
+					if burst > remaining {
+						remaining = 0
+					} else {
+						remaining -= burst
+					}
+				}
+			}
+			st.factors = append(st.factors, prioFactor{prio: lv.prio, f: f})
+		}
+	default: // FairShare: one factor for everyone on the resource
+		total := 0.0
+		for _, lv := range st.levels {
+			total += lv.load
+		}
+		f := 1.0
+		if total > 1 {
+			f = math.Pow(1/total, ContentionExponent)
+		}
+		for _, lv := range st.levels {
+			st.factors = append(st.factors, prioFactor{prio: lv.prio, f: f})
+		}
+	}
+}
+
+// refreshSpeed recomputes one running op's speed from its resources'
+// cached factors.
+func (e *engine) refreshSpeed(o *op) {
+	sp := 1.0
+	for _, d := range e.demandsOf(o) {
+		if f := e.res[d.idx].factorFor(o.priority); f < sp {
+			sp = f
+		}
+	}
+	if sp < minSpeed {
+		sp = minSpeed
+	}
+	e.speeds[o.id] = sp
+}
+
+func (e *engine) run() (*Result, error) {
+	s := e.s
 	res := &Result{
 		Ops:    make([]OpResult, len(s.ops)),
-		Util:   make([][]UtilSegment, s.cfg.NumGPUs),
+		Util:   make([][]UtilSegment, e.numGPUs),
 		byName: make(map[string][]int),
 	}
 
 	now := 0.0
-	var running []*op
 	done := 0
 
 	start := func(o *op) {
 		o.state = opLaunching
 		o.start = now
+		o.startSeq = e.nextSeq
+		e.nextSeq++
 		if o.overheadLeft <= timeEps {
 			o.state = opRunning
+			e.enterWork(o)
 		}
-		running = append(running, o)
+		e.running = append(e.running, o)
 	}
 	for _, o := range s.ops {
 		if o.missing == 0 {
@@ -83,39 +371,36 @@ func (s *Sim) Run() (*Result, error) {
 		}
 	}
 
-	speeds := make([]float64, len(s.ops))
 	for done < len(s.ops) {
-		if len(running) == 0 {
+		if len(e.running) == 0 {
 			return nil, fmt.Errorf("gpusim: deadlock — %d ops pending with no runnable op (dependency cycle?)", len(s.ops)-done)
 		}
 
-		// Resource factors for ops in the work phase.
-		factors := s.resourceFactors(running)
+		// Refresh factors of resources whose running set changed, then
+		// the speeds of (only) the ops those resources serve. Two
+		// passes: an op spanning two dirty resources must see both
+		// resources' new factors.
+		for _, idx := range e.dirty {
+			e.res[idx].dirty = false
+			e.refreshFactors(idx)
+		}
+		for _, idx := range e.dirty {
+			for _, u := range e.res[idx].users {
+				e.refreshSpeed(u.o)
+			}
+		}
+		e.dirty = e.dirty[:0]
 
-		// Per-op speed and the next event horizon.
+		// Next event horizon.
 		dt := math.Inf(1)
-		for _, o := range running {
+		for _, o := range e.running {
 			switch o.state {
 			case opLaunching:
-				speeds[o.id] = 1
-				if o.overheadLeft/1 < dt {
+				if o.overheadLeft < dt {
 					dt = o.overheadLeft
 				}
 			case opRunning:
-				sp := 1.0
-				for rk, dem := range o.demands {
-					if dem <= 0 {
-						continue
-					}
-					if f, ok := factors[factorKey{rk, o.priority}]; ok && f < sp {
-						sp = f
-					}
-				}
-				if sp < minSpeed {
-					sp = minSpeed
-				}
-				speeds[o.id] = sp
-				if rem := o.workLeft / sp; rem < dt {
+				if rem := o.workLeft / e.speeds[o.id]; rem < dt {
 					dt = rem
 				}
 			}
@@ -129,14 +414,14 @@ func (s *Sim) Run() (*Result, error) {
 
 		// Record utilization for this segment.
 		if dt > timeEps {
-			s.recordUtil(res, now, now+dt, running, factors)
+			e.recordUtil(res, now, now+dt)
 		}
 
 		// Advance and retire.
 		now += dt
-		next := running[:0]
-		var finished []*op
-		for _, o := range running {
+		next := e.running[:0]
+		finished := e.finished[:0]
+		for _, o := range e.running {
 			switch o.state {
 			case opLaunching:
 				o.overheadLeft -= dt
@@ -144,21 +429,25 @@ func (s *Sim) Run() (*Result, error) {
 					o.overheadLeft = 0
 					o.state = opRunning
 					if o.workLeft <= timeEps {
+						// Never entered the work phase's resource
+						// accounting; retire directly.
 						finished = append(finished, o)
 						continue
 					}
+					e.enterWork(o)
 				}
 				next = append(next, o)
 			case opRunning:
-				o.workLeft -= dt * speeds[o.id]
+				o.workLeft -= dt * e.speeds[o.id]
 				if o.workLeft <= timeEps {
+					e.leaveWork(o)
 					finished = append(finished, o)
 					continue
 				}
 				next = append(next, o)
 			}
 		}
-		running = next
+		e.running = next
 		for _, o := range finished {
 			o.state = opDone
 			o.end = now
@@ -173,127 +462,55 @@ func (s *Sim) Run() (*Result, error) {
 				}
 			}
 		}
+		e.finished = finished
 	}
 	res.Makespan = now
 	return res, nil
 }
 
-type factorKey struct {
-	res  resKey
-	prio int
-}
-
-// resourceFactors computes, for every (resource, priority level) with at
-// least one running user, the slowdown factor its users receive.
-func (s *Sim) resourceFactors(running []*op) map[factorKey]float64 {
-	type level struct {
-		prio int
-		load float64
+// recordUtil appends one utilization segment per GPU covering [t0,t1),
+// accumulating into reusable buffers; TagSM maps are only allocated when
+// a new segment is actually appended.
+func (e *engine) recordUtil(res *Result, t0, t1 float64) {
+	for g := 0; g < e.numGPUs; g++ {
+		e.accSM[g] = 0
+		e.accBW[g] = 0
+		e.tagAcc[g] = e.tagAcc[g][:0]
 	}
-	byRes := make(map[resKey][]level)
-	for _, o := range running {
-		if o.state != opRunning {
-			continue
-		}
-		for rk, dem := range o.demands {
-			if dem <= 0 {
-				continue
-			}
-			levels := byRes[rk]
-			found := false
-			for i := range levels {
-				if levels[i].prio == o.priority {
-					levels[i].load += dem
-					found = true
-					break
-				}
-			}
-			if !found {
-				levels = append(levels, level{prio: o.priority, load: dem})
-			}
-			byRes[rk] = levels
-		}
-	}
-
-	out := make(map[factorKey]float64)
-	for rk, levels := range byRes {
-		switch s.cfg.Policy {
-		case PrioritySpace:
-			sort.Slice(levels, func(i, j int) bool { return levels[i].prio > levels[j].prio })
-			remaining := 1.0
-			for i, lv := range levels {
-				f := 1.0
-				if lv.load > remaining {
-					if remaining <= 0 {
-						f = 0
-					} else {
-						f = remaining / lv.load
-					}
-					remaining = 0
-				} else {
-					remaining -= lv.load
-					// Lower priorities see the burst-inflated SM
-					// footprint of this level, not its time average.
-					if rk.kind == resSM && i < len(levels)-1 {
-						burst := lv.load * (PriorityBurstFactor - 1)
-						if burst > remaining {
-							remaining = 0
-						} else {
-							remaining -= burst
-						}
-					}
-				}
-				out[factorKey{rk, lv.prio}] = f
-			}
-		default: // FairShare: one factor for everyone on the resource
-			total := 0.0
-			for _, lv := range levels {
-				total += lv.load
-			}
-			f := 1.0
-			if total > 1 {
-				f = math.Pow(1/total, ContentionExponent)
-			}
-			for _, lv := range levels {
-				out[factorKey{rk, lv.prio}] = f
-			}
-		}
-	}
-	return out
-}
-
-// recordUtil appends one utilization segment per GPU covering [t0,t1).
-func (s *Sim) recordUtil(res *Result, t0, t1 float64, running []*op, factors map[factorKey]float64) {
-	type acc struct {
-		sm, bw float64
-		tagSM  map[string]float64
-	}
-	accs := make([]acc, s.cfg.NumGPUs)
 	hostCPU := 0.0
-	for _, o := range running {
+	for _, o := range e.running {
 		if o.state != opRunning {
 			continue
 		}
-		for rk, dem := range o.demands {
-			if rk.kind == resCPU {
-				hostCPU += dem * factors[factorKey{rk, o.priority}]
+		for _, d := range e.demandsOf(o) {
+			if d.kind == resCPU {
+				hostCPU += d.dem * e.res[d.idx].factorFor(o.priority)
 			}
 		}
 		if o.gpu < 0 {
 			continue
 		}
-		for rk, dem := range o.demands {
-			f := factors[factorKey{rk, o.priority}]
-			grant := dem * f
-			switch rk.kind {
+		for _, d := range e.demandsOf(o) {
+			switch d.kind {
 			case resSM:
-				accs[rk.gpu].sm += grant
-				if accs[rk.gpu].tagSM == nil {
-					accs[rk.gpu].tagSM = make(map[string]float64)
+				grant := d.dem * e.res[d.idx].factorFor(o.priority)
+				g := int(d.idx) // SM block leads the kind-major layout
+				e.accSM[g] += grant
+				ta := e.tagAcc[g]
+				found := false
+				for i := range ta {
+					if ta[i].tag == o.tag {
+						ta[i].sm += grant
+						found = true
+						break
+					}
 				}
-				accs[rk.gpu].tagSM[o.tag] += grant
+				if !found {
+					e.tagAcc[g] = append(ta, tagGrant{tag: o.tag, sm: grant})
+				}
 			case resBW:
-				accs[rk.gpu].bw += grant
+				grant := d.dem * e.res[d.idx].factorFor(o.priority)
+				e.accBW[int(d.idx)-e.numGPUs] += grant
 			}
 		}
 	}
@@ -305,19 +522,41 @@ func (s *Sim) recordUtil(res *Result, t0, t1 float64, running []*op, factors map
 	} else {
 		res.HostUtil = append(res.HostUtil, HostSegment{Start: t0, End: t1, CPU: hostCPU})
 	}
-	for g := 0; g < s.cfg.NumGPUs; g++ {
-		seg := UtilSegment{Start: t0, End: t1, SM: math.Min(accs[g].sm, 1), MemBW: math.Min(accs[g].bw, 1), TagSM: accs[g].tagSM}
+	for g := 0; g < e.numGPUs; g++ {
+		sm := math.Min(e.accSM[g], 1)
+		bw := math.Min(e.accBW[g], 1)
 		// Merge with the previous segment when nothing changed, to keep
 		// timelines compact.
 		if n := len(res.Util[g]); n > 0 {
 			prev := &res.Util[g][n-1]
-			if prev.End == t0 && prev.SM == seg.SM && prev.MemBW == seg.MemBW && equalTagSM(prev.TagSM, seg.TagSM) {
+			if prev.End == t0 && prev.SM == sm && prev.MemBW == bw && tagsMatch(prev.TagSM, e.tagAcc[g]) {
 				prev.End = t1
 				continue
 			}
 		}
-		res.Util[g] = append(res.Util[g], seg)
+		var tagSM map[string]float64
+		if len(e.tagAcc[g]) > 0 {
+			tagSM = make(map[string]float64, len(e.tagAcc[g]))
+			for _, tg := range e.tagAcc[g] {
+				tagSM[tg.tag] = tg.sm
+			}
+		}
+		res.Util[g] = append(res.Util[g], UtilSegment{Start: t0, End: t1, SM: sm, MemBW: bw, TagSM: tagSM})
 	}
+}
+
+// tagsMatch reports whether a stored TagSM map equals the event's tag
+// accumulator without materializing a map for the comparison.
+func tagsMatch(a map[string]float64, b []tagGrant) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, tg := range b {
+		if av, ok := a[tg.tag]; !ok || av != tg.sm {
+			return false
+		}
+	}
+	return true
 }
 
 func equalTagSM(a, b map[string]float64) bool {

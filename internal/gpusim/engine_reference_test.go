@@ -1,0 +1,316 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file preserves the discrete-event engine exactly as it stood
+// before the dense-resource-index optimization: resource factors are
+// rebuilt from scratch into fresh maps on every event and utilization
+// accumulators are reallocated per segment. It is the executable
+// specification for TestGoldenEquivalence — the optimized Run must
+// produce bit-identical Results on every DAG. The only mechanical
+// adaptation from the original is iterating the op's demand slice
+// instead of the former map[resKey]float64: each op holds at most one
+// demand per resource, so every accumulation cell still receives its
+// contributions in the same (running-slice) order and the float math is
+// unchanged.
+
+type refResKey struct {
+	kind resKind
+	gpu  int
+}
+
+type refFactorKey struct {
+	res  refResKey
+	prio int
+}
+
+// referenceRun executes the accumulated op DAG with the pre-optimization
+// event loop. Like Run, it may only be called once per Sim.
+func referenceRun(s *Sim) (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("gpusim: Sim.Run called twice")
+	}
+	s.ran = true
+
+	// Wire the DAG.
+	for _, o := range s.ops {
+		seen := make(map[OpID]bool, len(o.deps))
+		for _, d := range o.deps {
+			if d < 0 || int(d) >= len(s.ops) {
+				return nil, fmt.Errorf("gpusim: op %q depends on unknown op %d", o.name, d)
+			}
+			if d == o.id {
+				return nil, fmt.Errorf("gpusim: op %q depends on itself", o.name)
+			}
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			s.ops[d].children = append(s.ops[d].children, o.id)
+			o.missing++
+		}
+	}
+
+	res := &Result{
+		Ops:    make([]OpResult, len(s.ops)),
+		Util:   make([][]UtilSegment, s.cfg.NumGPUs),
+		byName: make(map[string][]int),
+	}
+
+	now := 0.0
+	var running []*op
+	done := 0
+
+	start := func(o *op) {
+		o.state = opLaunching
+		o.start = now
+		if o.overheadLeft <= timeEps {
+			o.state = opRunning
+		}
+		running = append(running, o)
+	}
+	for _, o := range s.ops {
+		if o.missing == 0 {
+			start(o)
+		}
+	}
+
+	speeds := make([]float64, len(s.ops))
+	for done < len(s.ops) {
+		if len(running) == 0 {
+			return nil, fmt.Errorf("gpusim: deadlock — %d ops pending with no runnable op (dependency cycle?)", len(s.ops)-done)
+		}
+
+		// Resource factors for ops in the work phase.
+		factors := refResourceFactors(s, running)
+
+		// Per-op speed and the next event horizon.
+		dt := math.Inf(1)
+		for _, o := range running {
+			switch o.state {
+			case opLaunching:
+				speeds[o.id] = 1
+				if o.overheadLeft/1 < dt {
+					dt = o.overheadLeft
+				}
+			case opRunning:
+				sp := 1.0
+				for _, d := range o.demands {
+					if d.val <= 0 {
+						continue
+					}
+					rk := refResKey{d.kind, d.gpu}
+					if f, ok := factors[refFactorKey{rk, o.priority}]; ok && f < sp {
+						sp = f
+					}
+				}
+				if sp < minSpeed {
+					sp = minSpeed
+				}
+				speeds[o.id] = sp
+				if rem := o.workLeft / sp; rem < dt {
+					dt = rem
+				}
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		if math.IsInf(dt, 1) {
+			dt = 0 // only zero-work ops are running; complete them now
+		}
+
+		// Record utilization for this segment.
+		if dt > timeEps {
+			refRecordUtil(s, res, now, now+dt, running, factors)
+		}
+
+		// Advance and retire.
+		now += dt
+		next := running[:0]
+		var finished []*op
+		for _, o := range running {
+			switch o.state {
+			case opLaunching:
+				o.overheadLeft -= dt
+				if o.overheadLeft <= timeEps {
+					o.overheadLeft = 0
+					o.state = opRunning
+					if o.workLeft <= timeEps {
+						finished = append(finished, o)
+						continue
+					}
+				}
+				next = append(next, o)
+			case opRunning:
+				o.workLeft -= dt * speeds[o.id]
+				if o.workLeft <= timeEps {
+					finished = append(finished, o)
+					continue
+				}
+				next = append(next, o)
+			}
+		}
+		running = next
+		for _, o := range finished {
+			o.state = opDone
+			o.end = now
+			done++
+			res.Ops[o.id] = OpResult{ID: o.id, Name: o.name, Tag: o.tag, GPU: o.gpu, Start: o.start, End: o.end}
+			res.byName[o.name] = append(res.byName[o.name], int(o.id))
+			for _, c := range o.children {
+				child := s.ops[c]
+				child.missing--
+				if child.missing == 0 && child.state == opPending {
+					start(child)
+				}
+			}
+		}
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+// refResourceFactors computes, for every (resource, priority level) with
+// at least one running user, the slowdown factor its users receive —
+// rebuilding the full map on every call, as the pre-optimization engine
+// did.
+func refResourceFactors(s *Sim, running []*op) map[refFactorKey]float64 {
+	type level struct {
+		prio int
+		load float64
+	}
+	byRes := make(map[refResKey][]level)
+	for _, o := range running {
+		if o.state != opRunning {
+			continue
+		}
+		for _, d := range o.demands {
+			if d.val <= 0 {
+				continue
+			}
+			rk := refResKey{d.kind, d.gpu}
+			levels := byRes[rk]
+			found := false
+			for i := range levels {
+				if levels[i].prio == o.priority {
+					levels[i].load += d.val
+					found = true
+					break
+				}
+			}
+			if !found {
+				levels = append(levels, level{prio: o.priority, load: d.val})
+			}
+			byRes[rk] = levels
+		}
+	}
+
+	out := make(map[refFactorKey]float64)
+	for rk, levels := range byRes {
+		switch s.cfg.Policy {
+		case PrioritySpace:
+			sort.Slice(levels, func(i, j int) bool { return levels[i].prio > levels[j].prio })
+			remaining := 1.0
+			for i, lv := range levels {
+				f := 1.0
+				if lv.load > remaining {
+					if remaining <= 0 {
+						f = 0
+					} else {
+						f = remaining / lv.load
+					}
+					remaining = 0
+				} else {
+					remaining -= lv.load
+					// Lower priorities see the burst-inflated SM
+					// footprint of this level, not its time average.
+					if rk.kind == resSM && i < len(levels)-1 {
+						burst := lv.load * (PriorityBurstFactor - 1)
+						if burst > remaining {
+							remaining = 0
+						} else {
+							remaining -= burst
+						}
+					}
+				}
+				out[refFactorKey{rk, lv.prio}] = f
+			}
+		default: // FairShare: one factor for everyone on the resource
+			total := 0.0
+			for _, lv := range levels {
+				total += lv.load
+			}
+			f := 1.0
+			if total > 1 {
+				f = math.Pow(1/total, ContentionExponent)
+			}
+			for _, lv := range levels {
+				out[refFactorKey{rk, lv.prio}] = f
+			}
+		}
+	}
+	return out
+}
+
+// refRecordUtil appends one utilization segment per GPU covering [t0,t1).
+func refRecordUtil(s *Sim, res *Result, t0, t1 float64, running []*op, factors map[refFactorKey]float64) {
+	type acc struct {
+		sm, bw float64
+		tagSM  map[string]float64
+	}
+	accs := make([]acc, s.cfg.NumGPUs)
+	hostCPU := 0.0
+	for _, o := range running {
+		if o.state != opRunning {
+			continue
+		}
+		for _, d := range o.demands {
+			if d.kind == resCPU {
+				hostCPU += d.val * factors[refFactorKey{refResKey{d.kind, d.gpu}, o.priority}]
+			}
+		}
+		if o.gpu < 0 {
+			continue
+		}
+		for _, d := range o.demands {
+			f := factors[refFactorKey{refResKey{d.kind, d.gpu}, o.priority}]
+			grant := d.val * f
+			switch d.kind {
+			case resSM:
+				accs[d.gpu].sm += grant
+				if accs[d.gpu].tagSM == nil {
+					accs[d.gpu].tagSM = make(map[string]float64)
+				}
+				accs[d.gpu].tagSM[o.tag] += grant
+			case resBW:
+				accs[d.gpu].bw += grant
+			}
+		}
+	}
+	if hostCPU > 1 {
+		hostCPU = 1
+	}
+	if n := len(res.HostUtil); n > 0 && res.HostUtil[n-1].End == t0 && res.HostUtil[n-1].CPU == hostCPU {
+		res.HostUtil[n-1].End = t1
+	} else {
+		res.HostUtil = append(res.HostUtil, HostSegment{Start: t0, End: t1, CPU: hostCPU})
+	}
+	for g := 0; g < s.cfg.NumGPUs; g++ {
+		seg := UtilSegment{Start: t0, End: t1, SM: math.Min(accs[g].sm, 1), MemBW: math.Min(accs[g].bw, 1), TagSM: accs[g].tagSM}
+		// Merge with the previous segment when nothing changed, to keep
+		// timelines compact.
+		if n := len(res.Util[g]); n > 0 {
+			prev := &res.Util[g][n-1]
+			if prev.End == t0 && prev.SM == seg.SM && prev.MemBW == seg.MemBW && equalTagSM(prev.TagSM, seg.TagSM) {
+				prev.End = t1
+				continue
+			}
+		}
+		res.Util[g] = append(res.Util[g], seg)
+	}
+}

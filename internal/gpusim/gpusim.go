@@ -162,9 +162,19 @@ const (
 	resCPU // host-wide; gpu index ignored
 )
 
-type resKey struct {
+// numResKinds counts the resource classes; resCPU must stay last (the
+// engine lays resources out as kind-major dense arrays, with the single
+// host-wide CPU slot at the end).
+const numResKinds = int(resCPU) + 1
+
+// demandSpec is one (resource, demand) requirement of an op. Demands are
+// stored as a short slice (at most two entries) rather than a map: the
+// engine iterates them on every event, and map traversal plus hashing
+// dominated the old hot path.
+type demandSpec struct {
 	kind resKind
-	gpu  int
+	gpu  int // 0 for host-wide resources
+	val  float64
 }
 
 // OpID identifies an op added to a Sim.
@@ -189,7 +199,13 @@ type op struct {
 
 	overheadLeft float64
 	workLeft     float64
-	demands      map[resKey]float64
+	demands      []demandSpec
+
+	// startSeq is the op's position in engine start order; the engine
+	// keeps per-resource user lists sorted by it so that incremental
+	// factor recomputation sums loads in exactly the order the original
+	// full-rescan implementation did (bit-identical results).
+	startSeq int
 
 	deps     []OpID
 	children []OpID
@@ -356,11 +372,19 @@ func (s *Sim) add(o *op, opts ...OpOption) OpID {
 	return o.id
 }
 
+// checkGPU panics when g is outside the cluster, with the same message
+// for every op kind. Validating at add time turns what used to be an
+// unrelated slice-bounds panic deep inside the engine into an immediate,
+// attributable error at the call site.
+func (s *Sim) checkGPU(g int) {
+	if g < 0 || g >= s.cfg.NumGPUs {
+		panic(fmt.Sprintf("gpusim: gpu %d out of range [0,%d)", g, s.cfg.NumGPUs))
+	}
+}
+
 // AddKernel schedules a GPU kernel on gpu.
 func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
-	if gpu < 0 || gpu >= s.cfg.NumGPUs {
-		panic(fmt.Sprintf("gpusim: gpu %d out of range [0,%d)", gpu, s.cfg.NumGPUs))
-	}
+	s.checkGPU(gpu)
 	d := k.Demand.Clamp()
 	o := &op{
 		name:         k.Name,
@@ -368,13 +392,12 @@ func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
 		gpu:          gpu,
 		overheadLeft: k.overhead(),
 		workLeft:     math.Max(k.Work, 0),
-		demands:      map[resKey]float64{},
 	}
 	if d.SM > 0 {
-		o.demands[resKey{resSM, gpu}] = d.SM
+		o.demands = append(o.demands, demandSpec{resSM, gpu, d.SM})
 	}
 	if d.MemBW > 0 {
-		o.demands[resKey{resBW, gpu}] = d.MemBW
+		o.demands = append(o.demands, demandSpec{resBW, gpu, d.MemBW})
 	}
 	return s.add(o, opts...)
 }
@@ -382,9 +405,11 @@ func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
 // AddComm schedules a point-to-point transfer of bytes from GPU src to
 // GPU dst over the NVLink fabric.
 func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption) OpID {
+	s.checkGPU(src)
+	s.checkGPU(dst)
 	if src == dst {
 		// Local "transfer": free apart from a trivial latency.
-		o := &op{name: name, tag: "comm", gpu: src, workLeft: 0.5, demands: map[resKey]float64{}}
+		o := &op{name: name, tag: "comm", gpu: src, workLeft: 0.5}
 		return s.add(o, opts...)
 	}
 	work := bytes / (s.cfg.LinkGBs * 1e3) // µs at full link speed
@@ -393,9 +418,9 @@ func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption
 		tag:      "comm",
 		gpu:      src,
 		workLeft: work,
-		demands: map[resKey]float64{
-			{resLinkOut, src}: 1,
-			{resLinkIn, dst}:  1,
+		demands: []demandSpec{
+			{resLinkOut, src, 1},
+			{resLinkIn, dst, 1},
 		},
 	}
 	return s.add(o, opts...)
@@ -405,15 +430,16 @@ func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption
 // collective of the given per-GPU byte volume would take. Collectives
 // (all-to-all, all-reduce) are expressed as one such op per participant.
 func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) OpID {
+	s.checkGPU(g)
 	work := bytes / (s.cfg.LinkGBs * 1e3)
 	o := &op{
 		name:     name,
 		tag:      "comm",
 		gpu:      g,
 		workLeft: work,
-		demands: map[resKey]float64{
-			{resLinkOut, g}: 1,
-			{resLinkIn, g}:  1,
+		demands: []demandSpec{
+			{resLinkOut, g, 1},
+			{resLinkIn, g, 1},
 		},
 	}
 	return s.add(o, opts...)
@@ -422,13 +448,14 @@ func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) O
 // AddHostCopy schedules a host-to-device copy of bytes onto GPU g's copy
 // engine (the data-preparation transfer of §6.3).
 func (s *Sim) AddHostCopy(name string, g int, bytes float64, opts ...OpOption) OpID {
+	s.checkGPU(g)
 	work := bytes / (s.cfg.CopyGBs * 1e3)
 	o := &op{
 		name:     name,
 		tag:      "hostcopy",
 		gpu:      g,
 		workLeft: work,
-		demands:  map[resKey]float64{{resCopy, g}: 1},
+		demands:  []demandSpec{{resCopy, g, 1}},
 	}
 	return s.add(o, opts...)
 }
@@ -448,14 +475,14 @@ func (s *Sim) AddCPU(name string, micros float64, workers int, opts ...OpOption)
 		tag:      "cpu",
 		gpu:      -1,
 		workLeft: micros,
-		demands:  map[resKey]float64{{resCPU, 0}: frac},
+		demands:  []demandSpec{{resCPU, 0, frac}},
 	}
 	return s.add(o, opts...)
 }
 
 // AddBarrier schedules a zero-duration synchronization op.
 func (s *Sim) AddBarrier(name string, opts ...OpOption) OpID {
-	o := &op{name: name, tag: "sync", gpu: -1, demands: map[resKey]float64{}}
+	o := &op{name: name, tag: "sync", gpu: -1}
 	return s.add(o, opts...)
 }
 

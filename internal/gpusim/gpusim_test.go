@@ -261,13 +261,27 @@ func TestSelfDepRejected(t *testing.T) {
 }
 
 func TestGPUOutOfRangePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for out-of-range gpu")
-		}
-	}()
-	s := NewSim(ClusterConfig{NumGPUs: 1})
-	s.AddKernel(3, Kernel{Name: "a", Work: 1})
+	cases := []struct {
+		name string
+		add  func(s *Sim)
+	}{
+		{"kernel", func(s *Sim) { s.AddKernel(3, Kernel{Name: "a", Work: 1}) }},
+		{"kernel_negative", func(s *Sim) { s.AddKernel(-1, Kernel{Name: "a", Work: 1}) }},
+		{"comm_src", func(s *Sim) { s.AddComm("c", 3, 0, 1e6) }},
+		{"comm_dst", func(s *Sim) { s.AddComm("c", 0, -2, 1e6) }},
+		{"linkbusy", func(s *Sim) { s.AddLinkBusy("l", 5, 1e6) }},
+		{"hostcopy", func(s *Sim) { s.AddHostCopy("h", -1, 1e6) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for out-of-range gpu")
+				}
+			}()
+			tc.add(NewSim(ClusterConfig{NumGPUs: 1}))
+		})
+	}
 }
 
 func TestUtilizationAccounting(t *testing.T) {

@@ -41,7 +41,9 @@ func (w GPUWork) workers() int {
 type PipelineOptions struct {
 	Iterations int
 	// Warmup iterations excluded from steady-state measurement
-	// (default 2, min 1 when Iterations allows).
+	// (default 2, clamped to Iterations-1; a single-iteration run has
+	// no warmup and the steady-state window falls back to the full
+	// run).
 	Warmup int
 	// Interleave enables §6.3 inter-batch workload interleaving: the
 	// data preparation of batch n+1 overlaps the preprocessing kernels
@@ -116,29 +118,17 @@ func BuildAndRun(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placemen
 	if pl.NumGPUs != cluster.NumGPUs {
 		return nil, fmt.Errorf("sched: placement has %d GPUs, cluster %d", pl.NumGPUs, cluster.NumGPUs)
 	}
-	sim := gpusim.NewSim(cluster)
-
-	iterHandles := make([]dlrm.IterHandle, opts.Iterations)
+	b, err := newPipelineBuilder(cluster, cfg, pl, work, opts)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < opts.Iterations; i++ {
-		extra := make([][]gpusim.OpID, cluster.NumGPUs)
-		for g := 0; g < cluster.NumGPUs; g++ {
-			gates, err := addBatchPreproc(sim, g, i, work[g], iterHandles, opts)
-			if err != nil {
-				return nil, err
-			}
-			extra[g] = append(extra[g], gates...)
-			if i > 0 {
-				extra[g] = append(extra[g], iterHandles[i-1].End)
-			}
-		}
-		h, err := cfg.AddIteration(sim, pl, i, extra)
-		if err != nil {
+		if err := b.addIteration(i); err != nil {
 			return nil, err
 		}
-		iterHandles[i] = h
 	}
 
-	res, err := sim.Run()
+	res, err := b.sim.Run()
 	if err != nil {
 		return nil, err
 	}
@@ -146,17 +136,105 @@ func BuildAndRun(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placemen
 		Result:           res,
 		TrainOnlyLatency: cfg.IterationSoloLatency(pl, cluster.LinkGBs),
 	}
-	for i := range iterHandles {
-		stats.IterEnds = append(stats.IterEnds, res.OpByID(iterHandles[i].End).End)
+	for i := range b.handles {
+		stats.IterEnds = append(stats.IterEnds, res.OpByID(b.handles[i].End).End)
 	}
+	// Steady-state window: everything after the warmup iterations. With
+	// no warmup (Iterations == 1) the window is the whole run measured
+	// from t=0.
 	steadyIters := opts.Iterations - opts.Warmup
-	steadyTime := stats.IterEnds[opts.Iterations-1] - stats.IterEnds[opts.Warmup-1]
+	warmupEnd := 0.0
+	if opts.Warmup > 0 {
+		warmupEnd = stats.IterEnds[opts.Warmup-1]
+	}
+	steadyTime := stats.IterEnds[opts.Iterations-1] - warmupEnd
 	if steadyIters > 0 && steadyTime > 0 {
 		stats.SteadyIterLatency = steadyTime / float64(steadyIters)
 		globalBatch := float64(cfg.BatchSize) * float64(cluster.NumGPUs)
 		stats.Throughput = globalBatch * float64(steadyIters) / (steadyTime * 1e-6)
 	}
 	return stats, nil
+}
+
+// gpuStreams caches one GPU's simulator stream keys; deriving them once
+// per run instead of once per (iteration × GPU) keeps string formatting
+// out of DAG construction.
+type gpuStreams struct {
+	prep   string // data-preparation stream (host prep + H2D copy)
+	pre    string // preprocessing kernel stream
+	cpupre string // CPU-preprocessing stream (TorchArrow/hybrid mode)
+	// kernel holds the round-robin kernel streams when PreprocStreams>1.
+	kernel []string
+}
+
+// pipelineBuilder accumulates the pipelined training DAG for one run.
+// It precomputes every structure identical across iterations — the
+// per-GPU training-stage template (via dlrm.IterTemplate) and the
+// per-GPU stream names — so adding iteration i derives only what
+// actually depends on i. Callers that replay many pipelines per decision
+// (capacity estimation, baselines, the experiment grids) construct
+// hundreds of these DAGs per call, which made the per-iteration
+// re-derivation measurable.
+type pipelineBuilder struct {
+	sim     *gpusim.Sim
+	tmpl    *dlrm.IterTemplate
+	work    []GPUWork
+	opts    PipelineOptions
+	streams []gpuStreams
+	handles []dlrm.IterHandle
+}
+
+func newPipelineBuilder(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placement, work []GPUWork, opts PipelineOptions) (*pipelineBuilder, error) {
+	tmpl, err := cfg.NewIterTemplate(pl)
+	if err != nil {
+		return nil, err
+	}
+	b := &pipelineBuilder{
+		sim:     gpusim.NewSim(cluster),
+		tmpl:    tmpl,
+		work:    work,
+		opts:    opts,
+		streams: make([]gpuStreams, cluster.NumGPUs),
+		handles: make([]dlrm.IterHandle, 0, opts.Iterations),
+	}
+	for g := range b.streams {
+		st := gpuStreams{
+			prep:   fmt.Sprintf("prep/g%d", g),
+			pre:    fmt.Sprintf("pre/g%d", g),
+			cpupre: fmt.Sprintf("cpupre/g%d", g),
+		}
+		if opts.PreprocStreams > 1 {
+			st.kernel = make([]string, opts.PreprocStreams)
+			for i := range st.kernel {
+				st.kernel[i] = fmt.Sprintf("%s/s%d", st.pre, i)
+			}
+		}
+		b.streams[g] = st
+	}
+	return b, nil
+}
+
+// addIteration appends iteration i (batch preprocessing on every GPU
+// plus the training stages consuming it) to the DAG.
+func (b *pipelineBuilder) addIteration(i int) error {
+	n := b.sim.Config().NumGPUs
+	extra := make([][]gpusim.OpID, n)
+	for g := 0; g < n; g++ {
+		gates, err := b.addBatchPreproc(g, i)
+		if err != nil {
+			return err
+		}
+		extra[g] = append(extra[g], gates...)
+		if i > 0 {
+			extra[g] = append(extra[g], b.handles[i-1].End)
+		}
+	}
+	h, err := b.tmpl.AddIteration(b.sim, i, extra)
+	if err != nil {
+		return err
+	}
+	b.handles = append(b.handles, h)
+	return nil
 }
 
 // addBatchPreproc schedules the preprocessing of batch i on GPU g and
@@ -167,15 +245,17 @@ func BuildAndRun(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placemen
 // for batch i serializes before batch i's kernels without interleaving,
 // or overlaps batch i-1's kernels (anchored one iteration earlier) with
 // §6.3 interleaving.
-func addBatchPreproc(sim *gpusim.Sim, g, i int, w GPUWork, handles []dlrm.IterHandle, opts PipelineOptions) ([]gpusim.OpID, error) {
-	prepStream := fmt.Sprintf("prep/g%d", g)
-	preStream := fmt.Sprintf("pre/g%d", g)
+func (b *pipelineBuilder) addBatchPreproc(g, i int) ([]gpusim.OpID, error) {
+	sim, w, opts := b.sim, b.work[g], b.opts
+	handles := b.handles
+	ss := &b.streams[g]
+	prefix := fmt.Sprintf("b%d/g%d/", i, g)
 	nextStream := 0
 	kernelStream := func() string {
 		if opts.PreprocStreams <= 1 {
-			return preStream
+			return ss.pre
 		}
-		s := fmt.Sprintf("%s/s%d", preStream, nextStream)
+		s := ss.kernel[nextStream]
 		nextStream = (nextStream + 1) % opts.PreprocStreams
 		return s
 	}
@@ -205,14 +285,14 @@ func addBatchPreproc(sim *gpusim.Sim, g, i int, w GPUWork, handles []dlrm.IterHa
 	// Data preparation: host-side prep then H2D copy.
 	var prepOps []gpusim.OpID
 	if w.CPUPrepUs > 0 {
-		id := sim.AddCPU(fmt.Sprintf("b%d/g%d/prep", i, g), w.CPUPrepUs, w.workers(),
-			gpusim.WithStream(prepStream), gpusim.WithDeps(prepAnchor()...))
+		id := sim.AddCPU(prefix+"prep", w.CPUPrepUs, w.workers(),
+			gpusim.WithStream(ss.prep), gpusim.WithDeps(prepAnchor()...))
 		prepOps = append(prepOps, id)
 		last = id
 	}
 	if w.PrepBytes > 0 {
-		id := sim.AddHostCopy(fmt.Sprintf("b%d/g%d/h2d", i, g), g, w.PrepBytes,
-			gpusim.WithStream(prepStream), gpusim.WithDeps(prepAnchor()...))
+		id := sim.AddHostCopy(prefix+"h2d", g, w.PrepBytes,
+			gpusim.WithStream(ss.prep), gpusim.WithDeps(prepAnchor()...))
 		prepOps = append(prepOps, id)
 		last = id
 	}
@@ -227,26 +307,28 @@ func addBatchPreproc(sim *gpusim.Sim, g, i int, w GPUWork, handles []dlrm.IterHa
 			// Pipeline the CPU work against the previous iteration.
 			deps = append(deps, handles[i-1].StageStartDeps[g][0]...)
 		}
-		id := sim.AddCPU(fmt.Sprintf("b%d/g%d/cpu_preproc", i, g), w.CPUPreprocUs, w.workers(),
-			gpusim.WithStream(fmt.Sprintf("cpupre/g%d", g)), gpusim.WithDeps(deps...))
+		id := sim.AddCPU(prefix+"cpu_preproc", w.CPUPreprocUs, w.workers(),
+			gpusim.WithStream(ss.cpupre), gpusim.WithDeps(deps...))
 		gates = append(gates, id)
 		if w.Schedule == nil {
-			return append(gates, finishCommGates(sim, g, i, w, id, preStream)...), nil
+			return append(gates, b.finishCommGates(g, id, prefix)...), nil
 		}
 	}
 
 	if w.Schedule == nil {
-		if last >= 0 {
-			gates = append(gates, last)
-		}
-		return gates, nil
+		// No GPU kernels and no CPU preprocessing on this GPU — but
+		// mapping-induced input communication must still be scheduled
+		// (and gate the consuming iteration): a no-preproc GPU under a
+		// locality-violating mapping still receives its inputs over the
+		// fabric.
+		return append(gates, b.finishCommGates(g, last, prefix)...), nil
 	}
 
 	// GPU preprocessing kernels, serialized on the preprocessing stream,
 	// each anchored to its assigned training stage.
 	addKernel := func(spec interface{ Kernel() gpusim.Kernel }, deps []gpusim.OpID) gpusim.OpID {
 		k := spec.Kernel()
-		k.Name = fmt.Sprintf("b%d/g%d/%s", i, g, k.Name)
+		k.Name = prefix + k.Name
 		return sim.AddKernel(g, k,
 			gpusim.WithStream(kernelStream()),
 			gpusim.WithDeps(deps...),
@@ -277,13 +359,14 @@ func addBatchPreproc(sim *gpusim.Sim, g, i int, w GPUWork, handles []dlrm.IterHa
 		deps = append(deps, prepOps...)
 		last = addKernel(spec, deps)
 	}
-	return append(gates, finishCommGates(sim, g, i, w, last, preStream)...), nil
+	return append(gates, b.finishCommGates(g, last, prefix)...), nil
 }
 
 // finishCommGates appends the mapping-induced input communication after
 // the batch's preprocessing, if any, returning the op(s) that gate the
 // consuming iteration.
-func finishCommGates(sim *gpusim.Sim, g, i int, w GPUWork, last gpusim.OpID, stream string) []gpusim.OpID {
+func (b *pipelineBuilder) finishCommGates(g int, last gpusim.OpID, prefix string) []gpusim.OpID {
+	w := b.work[g]
 	if w.InputCommBytes <= 0 {
 		if last < 0 {
 			return nil
@@ -294,7 +377,7 @@ func finishCommGates(sim *gpusim.Sim, g, i int, w GPUWork, last gpusim.OpID, str
 	if last >= 0 {
 		deps = append(deps, last)
 	}
-	id := sim.AddLinkBusy(fmt.Sprintf("b%d/g%d/input_comm", i, g), g, w.InputCommBytes,
-		gpusim.WithStream(stream), gpusim.WithDeps(deps...))
+	id := b.sim.AddLinkBusy(prefix+"input_comm", g, w.InputCommBytes,
+		gpusim.WithStream(b.streams[g].pre), gpusim.WithDeps(deps...))
 	return []gpusim.OpID{id}
 }
