@@ -1,0 +1,52 @@
+// raplint runs the project's domain-specific static analyzers over the
+// module: maporder, seededrand, floateq, unitmix and panicpath guard
+// the determinism and unit invariants the simulator's golden digests
+// depend on (see internal/lint and DESIGN.md).
+//
+// Usage:
+//
+//	go run ./cmd/raplint [packages]   # default ./...
+//	go run ./cmd/raplint -list       # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings can
+// be suppressed with `//lint:ignore <analyzer> <reason>` on or above
+// the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rap/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raplint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "raplint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -140,13 +140,18 @@ func (it *BatchIter) Next() (*tensor.Batch, error) {
 		}
 		b, err := it.r.Next()
 		if err == io.EOF {
-			it.file.Close()
+			cerr := it.file.Close()
 			it.file, it.r = nil, nil
+			if cerr != nil {
+				return nil, fmt.Errorf("data: closing shard: %w", cerr)
+			}
 			it.shard++
 			continue
 		}
 		if err != nil {
+			// The read error takes precedence over any close error.
 			it.file.Close()
+			it.file, it.r = nil, nil
 			return nil, err
 		}
 		return b, nil

@@ -55,6 +55,7 @@ func (c GenConfig) withDefaults() GenConfig {
 	}
 	if c.NaNRate < 0 {
 		c.NaNRate = 0
+		//lint:ignore floateq 0 is the documented "unset" sentinel; pass negative for an exact zero rate
 	} else if c.NaNRate == 0 {
 		c.NaNRate = 0.05
 	}
@@ -133,6 +134,7 @@ func (g *Generator) NextBatch(n int) *tensor.Batch {
 			}
 		}
 		if err := b.AddDense(col); err != nil {
+			//lint:ignore panicpath checked invariant: generated column names are unique by construction
 			panic("data: " + err.Error()) // names are unique by construction
 		}
 	}
@@ -150,6 +152,7 @@ func (g *Generator) NextBatch(n int) *tensor.Batch {
 			col.Offsets[i+1] = int32(len(col.Values))
 		}
 		if err := b.AddSparse(col); err != nil {
+			//lint:ignore panicpath checked invariant: generated column names are unique by construction
 			panic("data: " + err.Error())
 		}
 	}

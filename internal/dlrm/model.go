@@ -46,6 +46,7 @@ func (t *EmbeddingTable) row(id int64) []float32 {
 // out (len(col) × Dim).
 func (t *EmbeddingTable) LookupPooled(col *tensor.Sparse, out *nn.Matrix) {
 	if out.Rows != col.Len() || out.Cols != t.Dim {
+		//lint:ignore panicpath checked invariant: callers size out from the same col/Dim
 		panic(fmt.Sprintf("dlrm: lookup output %d×%d for %d samples dim %d", out.Rows, out.Cols, col.Len(), t.Dim))
 	}
 	for i := 0; i < col.Len(); i++ {
@@ -151,6 +152,7 @@ func (x *interaction) Backward(grad *nn.Matrix) []*nn.Matrix {
 				gj := out[j].Row(b)
 				gd := g[k]
 				k++
+				//lint:ignore floateq exact-zero skip is a pure sparsity optimization
 				if gd == 0 {
 					continue
 				}

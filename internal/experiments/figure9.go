@@ -95,7 +95,7 @@ func (r *Figure9Result) Speedups() map[baselines.System]float64 {
 			continue
 		}
 		rapThr := r.lookup(c.Plan, c.Batch, c.GPUs, baselines.SystemRAP)
-		if rapThr == 0 || c.Samples == 0 {
+		if rapThr <= 0 || c.Samples <= 0 {
 			continue
 		}
 		sums[c.System] += rapThr / c.Samples

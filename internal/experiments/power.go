@@ -82,7 +82,7 @@ func (r *PowerResult) row(sys baselines.System) PowerRow {
 func (r *PowerResult) EnergySaving() float64 {
 	ta := r.row(baselines.SystemTorchArrow).JoulesPerMSample
 	rp := r.row(baselines.SystemRAP).JoulesPerMSample
-	if rp == 0 {
+	if rp <= 0 {
 		return 0
 	}
 	return ta / rp

@@ -71,6 +71,7 @@ func (m *Model) NumTrees() int { return len(m.trees) }
 // Predict returns the model output for one feature vector.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != m.dims {
+		//lint:ignore panicpath checked invariant: feature-count mismatch is a programmer error
 		panic(fmt.Sprintf("gbdt: predict with %d features, model trained on %d", len(x), m.dims))
 	}
 	out := m.base
@@ -171,6 +172,7 @@ func buildTree(X [][]float64, target []float64, idx []int, depth, minLeaf int) *
 				continue
 			}
 			// Cannot split between equal feature values.
+			//lint:ignore floateq intentional bit-equality: sorted duplicates cannot host a split point
 			if X[order[pos]][f] == X[order[pos+1]][f] {
 				continue
 			}

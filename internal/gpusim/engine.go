@@ -517,6 +517,7 @@ func (e *engine) recordUtil(res *Result, t0, t1 float64) {
 	if hostCPU > 1 {
 		hostCPU = 1
 	}
+	//lint:ignore floateq intentional bit-equality: adjacent segments merge only when identical
 	if n := len(res.HostUtil); n > 0 && res.HostUtil[n-1].End == t0 && res.HostUtil[n-1].CPU == hostCPU {
 		res.HostUtil[n-1].End = t1
 	} else {
@@ -529,6 +530,7 @@ func (e *engine) recordUtil(res *Result, t0, t1 float64) {
 		// timelines compact.
 		if n := len(res.Util[g]); n > 0 {
 			prev := &res.Util[g][n-1]
+			//lint:ignore floateq intentional bit-equality: adjacent segments merge only when identical
 			if prev.End == t0 && prev.SM == sm && prev.MemBW == bw && tagsMatch(prev.TagSM, e.tagAcc[g]) {
 				prev.End = t1
 				continue
@@ -552,6 +554,7 @@ func tagsMatch(a map[string]float64, b []tagGrant) bool {
 		return false
 	}
 	for _, tg := range b {
+		//lint:ignore floateq intentional bit-equality: merged segments must match exactly
 		if av, ok := a[tg.tag]; !ok || av != tg.sm {
 			return false
 		}
@@ -563,7 +566,9 @@ func equalTagSM(a, b map[string]float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	//lint:ignore maporder order-independent predicate: every entry is checked, any order
 	for k, v := range a {
+		//lint:ignore floateq intentional bit-equality: merged segments must match exactly
 		if bv, ok := b[k]; !ok || bv != v {
 			return false
 		}
@@ -578,7 +583,7 @@ func (r *Result) BusyFraction(g int, upTo float64) float64 {
 	if upTo <= 0 {
 		upTo = r.Makespan
 	}
-	if upTo == 0 {
+	if upTo <= 0 {
 		return 0
 	}
 	busy := 0.0

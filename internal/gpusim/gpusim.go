@@ -267,7 +267,7 @@ func (r *Result) AvgUtil(g int, upTo float64) (sm, bw float64) {
 	if upTo <= 0 {
 		upTo = r.Makespan
 	}
-	if upTo == 0 {
+	if upTo <= 0 {
 		return 0, 0
 	}
 	var smArea, bwArea float64
@@ -294,7 +294,7 @@ type Sample struct {
 // UtilSeries resamples GPU g's utilization at the given period, for
 // plotting Figure 1(a)-style traces.
 func (r *Result) UtilSeries(g int, dt float64) []Sample {
-	if dt <= 0 || r.Makespan == 0 {
+	if dt <= 0 || r.Makespan <= 0 {
 		return nil
 	}
 	n := int(math.Ceil(r.Makespan/dt)) + 1
@@ -372,11 +372,11 @@ func (s *Sim) add(o *op, opts ...OpOption) OpID {
 	return o.id
 }
 
-// checkGPU panics when g is outside the cluster, with the same message
+// mustGPU panics when g is outside the cluster, with the same message
 // for every op kind. Validating at add time turns what used to be an
 // unrelated slice-bounds panic deep inside the engine into an immediate,
 // attributable error at the call site.
-func (s *Sim) checkGPU(g int) {
+func (s *Sim) mustGPU(g int) {
 	if g < 0 || g >= s.cfg.NumGPUs {
 		panic(fmt.Sprintf("gpusim: gpu %d out of range [0,%d)", g, s.cfg.NumGPUs))
 	}
@@ -384,7 +384,7 @@ func (s *Sim) checkGPU(g int) {
 
 // AddKernel schedules a GPU kernel on gpu.
 func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
-	s.checkGPU(gpu)
+	s.mustGPU(gpu)
 	d := k.Demand.Clamp()
 	o := &op{
 		name:         k.Name,
@@ -405,8 +405,8 @@ func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
 // AddComm schedules a point-to-point transfer of bytes from GPU src to
 // GPU dst over the NVLink fabric.
 func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption) OpID {
-	s.checkGPU(src)
-	s.checkGPU(dst)
+	s.mustGPU(src)
+	s.mustGPU(dst)
 	if src == dst {
 		// Local "transfer": free apart from a trivial latency.
 		o := &op{name: name, tag: "comm", gpu: src, workLeft: 0.5}
@@ -430,7 +430,7 @@ func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption
 // collective of the given per-GPU byte volume would take. Collectives
 // (all-to-all, all-reduce) are expressed as one such op per participant.
 func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) OpID {
-	s.checkGPU(g)
+	s.mustGPU(g)
 	work := bytes / (s.cfg.LinkGBs * 1e3)
 	o := &op{
 		name:     name,
@@ -448,7 +448,7 @@ func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) O
 // AddHostCopy schedules a host-to-device copy of bytes onto GPU g's copy
 // engine (the data-preparation transfer of §6.3).
 func (s *Sim) AddHostCopy(name string, g int, bytes float64, opts ...OpOption) OpID {
-	s.checkGPU(g)
+	s.mustGPU(g)
 	work := bytes / (s.cfg.CopyGBs * 1e3)
 	o := &op{
 		name:     name,

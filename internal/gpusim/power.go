@@ -49,7 +49,7 @@ func (e EnergyReport) Total() float64 { return e.GPUJoules + e.HostJoules }
 
 // AvgGPUWatts returns the mean power draw across all GPUs combined.
 func (e EnergyReport) AvgGPUWatts() float64 {
-	if e.MakespanUs == 0 {
+	if e.MakespanUs <= 0 {
 		return 0
 	}
 	return e.GPUJoules / (e.MakespanUs * 1e-6)
@@ -57,7 +57,7 @@ func (e EnergyReport) AvgGPUWatts() float64 {
 
 // AvgHostWatts returns the host tier's mean draw.
 func (e EnergyReport) AvgHostWatts() float64 {
-	if e.MakespanUs == 0 {
+	if e.MakespanUs <= 0 {
 		return 0
 	}
 	return e.HostJoules / (e.MakespanUs * 1e-6)

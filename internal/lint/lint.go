@@ -1,0 +1,213 @@
+// Package lint implements raplint, the project's domain-specific
+// static-analysis pass. The analyzers encode the determinism and unit
+// invariants the RAP reproduction depends on — bit-reproducible
+// simulator output, seeded randomness, tolerance-based float handling,
+// consistent byte/rate units, and error returns instead of panics in
+// library code — so that regressions surface as tier-1 verify failures
+// instead of silently drifting golden digests.
+//
+// The pass is zero-dependency: package discovery shells out to
+// `go list -json`, parsing and type checking use go/parser and
+// go/types. Findings can be suppressed with an explicit annotation on
+// the offending line or the line above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report at a source position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Analyzer is one invariant checker run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full raplint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, SeededRand, FloatEq, UnitMix, PanicPath}
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Path is the package's import path as the build system knows it.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	ignores  ignoreIndex
+	out      *[]Finding
+}
+
+// Report records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(p.analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Finding{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreIndex maps file → line → analyzer names suppressed there.
+type ignoreIndex map[string]map[int][]string
+
+func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	lines := ix[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line (trailing comment)
+	// or on the line directly below it (directive on its own line).
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(\s+\S.*)?$`)
+
+// buildIgnores scans a package's comments for //lint:ignore directives.
+// Directives missing the mandatory reason are reported as findings.
+func buildIgnores(fset *token.FileSet, files []*ast.File, out *[]Finding) ignoreIndex {
+	ix := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					*out = append(*out, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:ignore %s is missing its mandatory reason", m[1]),
+					})
+					continue
+				}
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ix[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], m[1])
+			}
+		}
+	}
+	return ix
+}
+
+// RunPackage applies every analyzer to one loaded package, appending
+// findings to out.
+func RunPackage(pkg *Package, analyzers []*Analyzer, out *[]Finding) {
+	ignores := buildIgnores(pkg.Fset, pkg.Files, out)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			ignores:  ignores,
+			out:      out,
+		}
+		a.Run(pass)
+	}
+}
+
+// Run loads the packages matching patterns (relative to dir) and applies
+// the analyzers, returning findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		RunPackage(pkg, analyzers, &out)
+	}
+	SortFindings(out)
+	return out, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message
+// so raplint's own output is deterministic.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// isInternalPath reports whether an import path is module-internal
+// library code — the scope of the seededrand and panicpath analyzers.
+func isInternalPath(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+// identName returns the name of an identifier expression, or "" for
+// blank identifiers and non-identifiers.
+func identName(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return ""
+	}
+	return id.Name
+}
+
+// typeIsFloat reports whether e's type is a floating-point (or complex)
+// basic type.
+func typeIsFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

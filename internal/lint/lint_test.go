@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe marks expected findings in fixtures: `// want "substr"` on the
+// offending line.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+}
+
+// loadFixture parses and type-checks one fixture package under
+// testdata/src, returning it with the expectations embedded in its
+// `// want` comments. importPath controls the scope the analyzers see.
+func loadFixture(t *testing.T, dir, importPath string) (*Package, []expectation) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []expectation
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, expectation{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := cfg.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return &Package{Path: importPath, Name: tpkg.Name(), Fset: fset, Files: files, Types: tpkg, Info: info}, wants
+}
+
+// TestAnalyzers runs each analyzer over its fixtures: every `// want`
+// line must produce exactly one matching finding, and nothing else may
+// be reported. Scope fixtures (same code under an out-of-scope import
+// path or package name) carry no want lines and must stay silent.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		name     string
+		analyzer *Analyzer
+		dir      string
+		path     string
+	}{
+		{"maporder deterministic pkg", MapOrder, "maporder_sched", "rap/internal/sched"},
+		{"maporder out of scope", MapOrder, "maporder_other", "rap/internal/other"},
+		{"seededrand internal", SeededRand, "seededrand_internal", "rap/internal/simfix"},
+		{"seededrand out of scope", SeededRand, "seededrand_cmd", "rap/cmd/fix"},
+		{"floateq", FloatEq, "floateq", "rap/internal/floatfix"},
+		{"unitmix", UnitMix, "unitmix", "rap/internal/unitfix"},
+		{"panicpath internal", PanicPath, "panicpath_internal", "rap/internal/panicfix"},
+		{"panicpath out of scope", PanicPath, "panicpath_cmd", "rap/cmd/panicfix"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg, wants := loadFixture(t, filepath.Join("testdata", "src", tc.dir), tc.path)
+			var findings []Finding
+			RunPackage(pkg, []*Analyzer{tc.analyzer}, &findings)
+			SortFindings(findings)
+
+			matched := make([]bool, len(wants))
+			for _, f := range findings {
+				ok := false
+				for i, w := range wants {
+					if !matched[i] && w.file == f.Pos.Filename && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
+						matched[i] = true
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected finding: %v", f)
+				}
+			}
+			for i, w := range wants {
+				if !matched[i] {
+					t.Errorf("missing finding at %s:%d containing %q", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// checkSource type-checks an inline dependency-free source string and
+// runs the analyzers over it.
+func checkSource(t *testing.T, importPath, src string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "inline.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing inline source: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	var cfg types.Config
+	tpkg, err := cfg.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking inline source: %v", err)
+	}
+	pkg := &Package{Path: importPath, Name: tpkg.Name(), Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	var findings []Finding
+	RunPackage(pkg, analyzers, &findings)
+	SortFindings(findings)
+	return findings
+}
+
+// TestIgnoreRequiresReason: a //lint:ignore directive without a reason
+// is itself a finding and suppresses nothing.
+func TestIgnoreRequiresReason(t *testing.T) {
+	findings := checkSource(t, "rap/internal/inline", `package p
+
+func sloppy(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+`, []*Analyzer{FloatEq})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (missing reason + unsuppressed floateq): %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "mandatory reason") {
+		t.Errorf("first finding should flag the missing reason, got: %v", findings[0])
+	}
+	if findings[1].Analyzer != "floateq" {
+		t.Errorf("bare directive must not suppress the finding, got: %v", findings[1])
+	}
+}
+
+// TestIgnoreWrongAnalyzer: a directive only suppresses the analyzer it
+// names.
+func TestIgnoreWrongAnalyzer(t *testing.T) {
+	findings := checkSource(t, "rap/internal/inline", `package p
+
+func sloppy(a, b float64) bool {
+	//lint:ignore maporder reason that names the wrong analyzer
+	return a == b
+}
+`, []*Analyzer{FloatEq})
+	if len(findings) != 1 || findings[0].Analyzer != "floateq" {
+		t.Fatalf("got %v, want exactly the unsuppressed floateq finding", findings)
+	}
+}
+
+// TestTrailingIgnore: a directive as a trailing comment covers its own
+// line.
+func TestTrailingIgnore(t *testing.T) {
+	findings := checkSource(t, "rap/internal/inline", `package p
+
+func bitwise(a, b float64) bool {
+	return a == b //lint:ignore floateq intentional bit comparison
+}
+`, []*Analyzer{FloatEq})
+	if len(findings) != 0 {
+		t.Fatalf("got %v, want no findings", findings)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestTreeClean runs the full raplint suite over the module: the tree
+// must stay finding-free, so a reintroduced violation fails tier-1
+// tests even when the verify script is skipped.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := Run(moduleRoot(t), []string{"./..."}, All())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%v", f)
+	}
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked module package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Error      *struct{ Err string }
+}
+
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load discovers the packages matching patterns via `go list -json`,
+// parses their non-test Go files, and type-checks them. Module packages
+// are checked from source; standard-library dependencies are imported
+// from the build cache's export data (`go list -export`), falling back
+// to source import when export data is unavailable.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Two passes: the analysis targets, then the full dependency closure
+	// with export data for the standard-library imports.
+	targets, err := goList(dir, append([]string{"-json=Dir,ImportPath,Name,GoFiles,Standard,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-deps", "-export", "-json=Dir,ImportPath,Name,GoFiles,Standard,Export,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	im := &moduleImporter{
+		fset:    fset,
+		metas:   map[string]*listPkg{},
+		exports: map[string]string{},
+		done:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	im.std = importer.ForCompiler(fset, "gc", im.lookupExport)
+	im.srcFallback = importer.ForCompiler(fset, "source", nil)
+	for _, p := range deps {
+		if p.Standard {
+			im.exports[p.ImportPath] = p.Export
+		} else {
+			im.metas[p.ImportPath] = p
+		}
+	}
+	for _, p := range targets {
+		if !p.Standard {
+			im.metas[p.ImportPath] = p
+		}
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := im.check(t.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// moduleImporter type-checks module packages from source (memoized, so
+// shared dependencies have a single *types.Package identity) and
+// resolves everything else through gc export data.
+type moduleImporter struct {
+	fset        *token.FileSet
+	metas       map[string]*listPkg
+	exports     map[string]string
+	done        map[string]*Package
+	loading     map[string]bool
+	std         types.Importer
+	srcFallback types.Importer
+}
+
+func (im *moduleImporter) lookupExport(path string) (io.ReadCloser, error) {
+	p := im.exports[path]
+	if p == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(p)
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.done[path]; ok {
+		return pkg.Types, nil
+	}
+	if _, ok := im.metas[path]; ok {
+		pkg, err := im.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if im.exports[path] != "" {
+		return im.std.Import(path)
+	}
+	return im.srcFallback.Import(path)
+}
+
+func (im *moduleImporter) check(path string) (*Package, error) {
+	if pkg, ok := im.done[path]; ok {
+		return pkg, nil
+	}
+	meta := im.metas[path]
+	if meta == nil {
+		return nil, fmt.Errorf("lint: unknown module package %q", path)
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(im.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{Importer: im}
+	tpkg, err := cfg.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Fset:  im.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	im.done[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgNames lists the packages whose outputs must be
+// bit-reproducible: anything map-iteration order can leak into here
+// breaks the gpusim golden digests.
+var deterministicPkgNames = map[string]bool{
+	"gpusim":  true,
+	"sched":   true,
+	"mapping": true,
+	"fusion":  true,
+	"milp":    true,
+}
+
+// MapOrder flags `for range` over maps inside the deterministic
+// packages when the loop body's effects can depend on iteration order.
+// Bodies restricted to sorted-key extraction (`keys = append(keys, k)`),
+// per-key writes (`m2[k] = v`, `delete(m2, k)`), and exactly commutative
+// integer reductions (`n += v`, `n++`) are allowed; anything else —
+// including float accumulation, whose rounding is order-dependent — must
+// iterate sorted keys or carry a //lint:ignore with a reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration feeding simulation state in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !deterministicPkgNames[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			key := identName(rs.Key)
+			if stmtsOrderInsensitive(p, rs.Body.List, key) {
+				return true
+			}
+			p.Report(rs.For, "map iteration order can leak into simulation results; iterate sorted keys, or keep the body to key collection / per-key writes / integer reductions")
+			return true
+		})
+	}
+}
+
+func stmtsOrderInsensitive(p *Pass, stmts []ast.Stmt, key string) bool {
+	for _, s := range stmts {
+		if !stmtOrderInsensitive(p, s, key) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtOrderInsensitive reports whether executing s once per map entry
+// yields the same program state regardless of entry order.
+func stmtOrderInsensitive(p *Pass, s ast.Stmt, key string) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- applies the identical delta every iteration.
+		return true
+	case *ast.AssignStmt:
+		return assignOrderInsensitive(p, s, key)
+	case *ast.IfStmt:
+		if s.Init != nil && !stmtOrderInsensitive(p, s.Init, key) {
+			return false
+		}
+		if !exprPure(s.Cond) || !stmtsOrderInsensitive(p, s.Body.List, key) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return stmtsOrderInsensitive(p, e.List, key)
+		case *ast.IfStmt:
+			return stmtOrderInsensitive(p, e, key)
+		}
+		return false
+	case *ast.BlockStmt:
+		return stmtsOrderInsensitive(p, s.List, key)
+	case *ast.BranchStmt:
+		// `continue` skips an entry the same way in any order; `break`
+		// and labeled jumps make the outcome depend on what came first.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.ExprStmt:
+		// delete(m2, k) keyed by the range key touches disjoint entries.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" &&
+				len(call.Args) == 2 && key != "" && identName(call.Args[1]) == key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func assignOrderInsensitive(p *Pass, s *ast.AssignStmt, key string) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// Fresh locals live for one iteration only; safe when the RHS is
+		// side-effect free.
+		for _, r := range s.Rhs {
+			if !exprPure(r) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Exactly commutative over integers only: float rounding makes
+		// `sum += v` depend on visit order.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !exprPure(s.Rhs[0]) {
+			return false
+		}
+		t := p.Info.TypeOf(s.Lhs[0])
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// m2[k] = v: per-key writes touch disjoint locations.
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok && key != "" && identName(ix.Index) == key {
+			return exprPure(s.Rhs[0])
+		}
+		// keys = append(keys, k): sorted-key extraction.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" &&
+				len(call.Args) == 2 && !call.Ellipsis.IsValid() &&
+				key != "" && identName(call.Args[1]) == key {
+				target := identName(s.Lhs[0])
+				return target != "" && target == identName(call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// exprPure reports whether evaluating e has no side effects (so it may
+// run once per map entry in any order). Function calls other than
+// len/cap/min/max are conservatively impure.
+func exprPure(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return exprPure(e.X)
+	case *ast.IndexExpr:
+		return exprPure(e.X) && exprPure(e.Index)
+	case *ast.ParenExpr:
+		return exprPure(e.X)
+	case *ast.StarExpr:
+		return exprPure(e.X)
+	case *ast.UnaryExpr:
+		return e.Op != token.AND && exprPure(e.X)
+	case *ast.BinaryExpr:
+		return exprPure(e.X) && exprPure(e.Y)
+	case *ast.TypeAssertExpr:
+		return exprPure(e.X)
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch id.Name {
+		case "len", "cap", "min", "max":
+			for _, a := range e.Args {
+				if !exprPure(a) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPath forbids panic in internal (library) packages: simulator and
+// planner code is driven by cmd binaries and experiments that must get
+// errors, not crashes. Functions named Must*/must* are exempt by
+// convention;
+// checked-invariant panics (validated-constructor paths where the
+// condition is provably impossible for callers) carry a //lint:ignore
+// with the proof as the reason.
+var PanicPath = &Analyzer{
+	Name: "panicpath",
+	Doc:  "panic in internal library code outside Must* helpers",
+	Run:  runPanicPath,
+}
+
+func runPanicPath(p *Pass) {
+	if !isInternalPath(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				p.Report(id.Pos(), "panic in internal package; return an error, move it behind a Must* helper, or annotate a checked invariant")
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package floatfix is a floateq fixture.
+package floatfix
+
+const eps = 1e-9
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps // ok: tolerance comparison
+}
+
+func same(a, b float64) bool {
+	return a == b // want "exact bits"
+}
+
+func differs(a, b float32) bool {
+	return a != b // want "exact bits"
+}
+
+func classify(x float64) string {
+	switch x { // want "switch on a floating-point"
+	case 0:
+		return "zero"
+	}
+	return "other"
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integer equality is exact
+}
+
+func tags(a, b string) bool {
+	return a == b // ok: strings compare exactly
+}
+
+const zero = 0.0
+const one = 1.0
+
+var sanity = zero == one // ok: compile-time constant comparison
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq test fixture: intentional bit comparison
+	return a == b
+}

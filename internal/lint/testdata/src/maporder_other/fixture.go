@@ -1,0 +1,11 @@
+// Package other is a maporder scope fixture: it is not in the
+// deterministic package set, so even order-sensitive map iteration is
+// out of scope.
+package other
+
+func firstKey(m map[string]int) string {
+	for k := range m { // ok: package is outside the deterministic set
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,10 @@
+// Package panicfix is a panicpath scope fixture: panics under a cmd/
+// import path are out of scope (a CLI may crash on its own bugs).
+package panicfix
+
+func broken(s string) int {
+	if s == "" {
+		panic("empty") // ok: not an internal library package
+	}
+	return len(s)
+}

@@ -1,0 +1,45 @@
+// Package panicfix is a panicpath fixture under an internal import path.
+package panicfix
+
+import "errors"
+
+func parse(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty") // ok: error return
+	}
+	return len(s), nil
+}
+
+func broken(s string) int {
+	if s == "" {
+		panic("empty") // want "panic in internal package"
+	}
+	return len(s)
+}
+
+func alsoBroken() {
+	defer func() {
+		panic("in deferred func") // want "panic in internal package"
+	}()
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty") // ok: Must* helper
+	}
+	return len(s)
+}
+
+func mustNonEmpty(s string) {
+	if s == "" {
+		panic("empty") // ok: must* helper
+	}
+}
+
+func suppressed(s string) int {
+	if s == "" {
+		//lint:ignore panicpath test fixture: checked invariant
+		panic("empty")
+	}
+	return len(s)
+}

@@ -1,0 +1,17 @@
+// Package fix is a seededrand scope fixture: the same calls under a
+// cmd/ import path are out of scope (wall-clock benchmarking in CLIs is
+// fine).
+package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() // ok: not internal simulator/planner code
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // ok: not internal simulator/planner code
+}

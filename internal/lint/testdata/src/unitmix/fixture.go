@@ -1,0 +1,37 @@
+// Package unitfix is a unitmix fixture.
+package unitfix
+
+const bytesPerMB = 1 << 20
+
+func overflows(bufBytes, limitMB float64) bool {
+	return bufBytes > limitMB // want "mixes bytes with MB"
+}
+
+func total(commBytes, capGB float64) float64 {
+	return commBytes + capGB // want "mixes bytes with GB"
+}
+
+func mislabeled(sizeBytes, linkGbps float64) bool {
+	return sizeBytes < linkGbps // want "mixes bytes with Gb/s"
+}
+
+func converted(bufBytes, limitMB float64) bool {
+	return bufBytes > limitMB*bytesPerMB // ok: explicit conversion on one side
+}
+
+func sameUnit(aMB, bMB float64) float64 {
+	return aMB + bMB // ok: both operands carry the same unit
+}
+
+func scaled(xBytes float64) float64 {
+	return xBytes / bytesPerMB // ok: division is how conversions are written
+}
+
+func plain(a, b float64) float64 {
+	return a + b // ok: no units in either name
+}
+
+func suppressed(bufBytes, limitMB float64) bool {
+	//lint:ignore unitmix test fixture: deliberately suppressed
+	return bufBytes > limitMB
+}

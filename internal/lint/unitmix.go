@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// unitSuffixes maps identifier-name suffixes to the unit they declare;
+// longer suffixes are matched first. A name that is exactly a suffix
+// (a constant named MB) is treated as a conversion constant, not a
+// unit-carrying value.
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"GiB", "GiB"}, {"MiB", "MiB"}, {"KiB", "KiB"},
+	{"Gbps", "Gb/s"}, {"GBps", "GB/s"}, {"MBps", "MB/s"},
+	{"Bytes", "bytes"},
+	{"GB", "GB"}, {"MB", "MB"}, {"KB", "KB"},
+}
+
+// unitMixOps are the operators for which both operands must agree on a
+// unit: sums, differences, and comparisons. Multiplication and division
+// are exempt — they are how conversions are written.
+var unitMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+// UnitMix flags additive or comparison expressions whose operands carry
+// different units in their names (xBytes + yMB) with no visible
+// conversion. Composite operands (a*bytesPerMB) have no inferred unit
+// and are never flagged, so wrapping one side in an explicit conversion
+// silences the finding.
+var UnitMix = &Analyzer{
+	Name: "unitmix",
+	Doc:  "arithmetic mixing byte/rate units without a conversion",
+	Run:  runUnitMix,
+}
+
+func runUnitMix(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !unitMixOps[be.Op] {
+				return true
+			}
+			ux, uy := unitOf(be.X), unitOf(be.Y)
+			if ux != "" && uy != "" && ux != uy {
+				p.Report(be.OpPos, "%s %s mixes %s with %s; convert one side explicitly", nameOf(be.X), be.Op, ux, uy)
+			}
+			return true
+		})
+	}
+}
+
+// unitOf infers the unit of a bare identifier or field selector from
+// its name suffix; every other expression shape is "no unit".
+func unitOf(e ast.Expr) string {
+	name := nameOf(e)
+	if name == "" {
+		return ""
+	}
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s.suffix) && len(name) > len(s.suffix) {
+			return s.unit
+		}
+	}
+	return ""
+}
+
+func nameOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return nameOf(e.X)
+	}
+	return ""
+}

@@ -152,9 +152,14 @@ func homeGPU(g *preproc.Graph, pl dlrm.Placement) int {
 	for _, o := range g.Outputs {
 		votes[pl.TableGPU[o.Table]]++
 	}
+	gpus := make([]int, 0, len(votes))
+	for gpu := range votes {
+		gpus = append(gpus, gpu)
+	}
+	sort.Ints(gpus)
 	best, bestVotes := -1, -1
-	for gpu, v := range votes {
-		if v > bestVotes || (v == bestVotes && gpu < best) {
+	for _, gpu := range gpus {
+		if v := votes[gpu]; v > bestVotes {
 			best, bestVotes = gpu, v
 		}
 	}
@@ -382,7 +387,7 @@ func (r *Result) Imbalance() float64 {
 		}
 	}
 	mean := sum / float64(len(r.PerGPU))
-	if mean == 0 {
+	if mean <= 0 {
 		return 1
 	}
 	return max / mean

@@ -20,6 +20,7 @@ type Matrix struct {
 // NewMatrix allocates a zeroed Rows×Cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//lint:ignore panicpath checked invariant: shape mismatch is a programmer error in this hot-path math kernel
 		panic(fmt.Sprintf("nn: invalid matrix shape %d×%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
@@ -33,6 +34,7 @@ func FromRows(rows [][]float32) *Matrix {
 	m := NewMatrix(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
+			//lint:ignore panicpath checked invariant: shape mismatch is a programmer error in this hot-path math kernel
 			panic("nn: ragged FromRows input")
 		}
 		copy(m.Row(i), r)
@@ -66,6 +68,7 @@ func (m *Matrix) Zero() {
 // MatMul returns a×b.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
+		//lint:ignore panicpath checked invariant: shape mismatch is a programmer error in this hot-path math kernel
 		panic(fmt.Sprintf("nn: matmul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
@@ -74,6 +77,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		orow := out.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			av := arow[k]
+			//lint:ignore floateq exact-zero skip is a pure sparsity optimization
 			if av == 0 {
 				continue
 			}
@@ -89,6 +93,7 @@ func MatMul(a, b *Matrix) *Matrix {
 // MatMulATB returns aᵀ×b (used for weight gradients).
 func MatMulATB(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
+		//lint:ignore panicpath checked invariant: shape mismatch is a programmer error in this hot-path math kernel
 		panic(fmt.Sprintf("nn: matmulATB shape mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Cols, b.Cols)
@@ -96,6 +101,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 		arow := a.Row(r)
 		brow := b.Row(r)
 		for i, av := range arow {
+			//lint:ignore floateq exact-zero skip is a pure sparsity optimization
 			if av == 0 {
 				continue
 			}
@@ -111,6 +117,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 // MatMulABT returns a×bᵀ (used for input gradients).
 func MatMulABT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
+		//lint:ignore panicpath checked invariant: shape mismatch is a programmer error in this hot-path math kernel
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %d×%d · %d×%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(a.Rows, b.Rows)

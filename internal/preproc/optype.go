@@ -285,6 +285,7 @@ func (s KernelSpec) Kernel() gpusim.Kernel {
 // the same-type fusion constraint.
 func (s KernelSpec) Fuse(o KernelSpec) KernelSpec {
 	if s.Type != o.Type {
+		//lint:ignore panicpath checked invariant: the fusion planner groups kernels by op type before fusing
 		panic(fmt.Sprintf("preproc: cannot fuse %s with %s", s.Type, o.Type))
 	}
 	sc1, sc2 := s.ParamScale, o.ParamScale

@@ -140,6 +140,7 @@ func (s *Sparse) Lists() [][]int64 {
 // Slice returns a copy of rows [lo, hi) as a standalone column.
 func (s *Sparse) Slice(lo, hi int) *Sparse {
 	if lo < 0 || hi > s.Len() || lo > hi {
+		//lint:ignore panicpath checked invariant: callers slice within Len by construction
 		panic(fmt.Sprintf("tensor: slice [%d,%d) of %d-row sparse %q", lo, hi, s.Len(), s.Name))
 	}
 	out := &Sparse{Name: s.Name, Offsets: make([]int32, hi-lo+1)}
@@ -303,11 +304,13 @@ func (b *Batch) Clone() *Batch {
 	out := NewBatch(b.Samples)
 	for _, d := range b.Dense {
 		if err := out.AddDense(d.Clone()); err != nil {
+			//lint:ignore panicpath checked invariant: the clone source was validated on construction
 			panic("tensor: clone: " + err.Error()) // impossible: source was valid
 		}
 	}
 	for _, s := range b.Sparse {
 		if err := out.AddSparse(s.Clone()); err != nil {
+			//lint:ignore panicpath checked invariant: the clone source was validated on construction
 			panic("tensor: clone: " + err.Error())
 		}
 	}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rap/internal/gpusim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeResult builds a small but representative timeline: training and
+// preprocessing kernels on two GPUs, a cross-GPU transfer, a host copy,
+// CPU work, and a zero-width barrier that the trace must drop.
+func chromeResult(t *testing.T) *gpusim.Result {
+	t.Helper()
+	s := gpusim.NewSim(gpusim.ClusterConfig{NumGPUs: 2})
+	tr0 := s.AddKernel(0, gpusim.Kernel{Name: "train_fwd", Work: 50, LaunchOverhead: -1,
+		Demand: gpusim.Demand{SM: 0.8, MemBW: 0.2}, Tag: "train"})
+	s.AddKernel(0, gpusim.Kernel{Name: "pre_fillnull", Work: 30, LaunchOverhead: -1,
+		Demand: gpusim.Demand{SM: 0.1, MemBW: 0.3}, Tag: "preproc"}, gpusim.WithDeps(tr0))
+	tr1 := s.AddKernel(1, gpusim.Kernel{Name: "train_fwd", Work: 40, LaunchOverhead: -1,
+		Demand: gpusim.Demand{SM: 0.7, MemBW: 0.2}, Tag: "train"})
+	s.AddComm("a2a", 0, 1, 1e6, gpusim.WithDeps(tr0))
+	s.AddHostCopy("h2d", 1, 1e5, gpusim.WithDeps(tr1))
+	s.AddCPU("load_batch", 25, 1)
+	s.AddBarrier("iter_end", gpusim.WithDeps(tr0, tr1))
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChromeTraceGolden pins the rendered trace byte for byte. The
+// simulator is deterministic, so any diff here is a real behavior
+// change; regenerate deliberately with `go test ./internal/trace
+// -run ChromeTraceGolden -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	res := chromeResult(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, res, 2); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceStable: two renders of the same result are identical.
+func TestChromeTraceStable(t *testing.T) {
+	res := chromeResult(t)
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, res, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, res, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("back-to-back renders differ")
+	}
+}
+
+// TestChromeTraceRoundTrip: the emitted JSON parses and reproduces every
+// visible op's name, timestamps, category, and process/thread mapping.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	res := chromeResult(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, res, 2); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	// Expected: every op with positive width, sorted by start.
+	var visible []gpusim.OpResult
+	for _, o := range res.Ops {
+		if o.End > o.Start {
+			visible = append(visible, o)
+		}
+	}
+	sort.Slice(visible, func(i, j int) bool { return visible[i].Start < visible[j].Start })
+	if len(visible) == 0 {
+		t.Fatal("fixture produced no visible ops")
+	}
+	if len(events) != len(visible) {
+		t.Fatalf("events = %d, visible ops = %d", len(events), len(visible))
+	}
+	for i, o := range visible {
+		e := events[i]
+		if e.Name != o.Name || e.Cat != o.Tag || e.Ph != "X" {
+			t.Fatalf("event %d = %+v, op = %+v", i, e, o)
+		}
+		if e.Ts != o.Start || e.Dur != o.End-o.Start {
+			t.Fatalf("event %d timestamps %+v do not round-trip op %+v", i, e, o)
+		}
+		wantPID := o.GPU
+		if wantPID < 0 {
+			wantPID = 2 // host row sits after the GPUs
+		}
+		if e.PID != wantPID || e.TID != tidFor(o.Tag) {
+			t.Fatalf("event %d rows %+v do not match op %+v", i, e, o)
+		}
+	}
+}

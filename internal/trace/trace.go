@@ -31,8 +31,11 @@ func WriteUtilCSV(w io.Writer, res *gpusim.Result, g int, dt float64) error {
 func WriteOpsCSV(w io.Writer, res *gpusim.Result) error {
 	ops := append([]gpusim.OpResult(nil), res.Ops...)
 	sort.Slice(ops, func(i, j int) bool {
-		if ops[i].Start != ops[j].Start {
-			return ops[i].Start < ops[j].Start
+		if ops[i].Start < ops[j].Start {
+			return true
+		}
+		if ops[i].Start > ops[j].Start {
+			return false
 		}
 		return ops[i].ID < ops[j].ID
 	})
@@ -70,7 +73,7 @@ func Summarize(res *gpusim.Result, g int, upTo float64) UtilSummary {
 		SMUtil:  sm,
 		TagSM:   map[string]float64{},
 	}
-	if upTo == 0 {
+	if upTo <= 0 {
 		return out
 	}
 	for _, seg := range res.Util[g] {

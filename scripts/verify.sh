@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: vet, build, lint, test.
+#
+# raplint (cmd/raplint) is this repo's own static-analysis pass; it
+# enforces the determinism and unit invariants described in DESIGN.md
+# §6 and exits nonzero on any finding.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+echo "== go build"
+go build ./...
+echo "== raplint"
+go run ./cmd/raplint ./...
+echo "== go test -race"
+go test -race ./...
+echo "verify: OK"
