@@ -8,6 +8,7 @@
 //	rapbench -exp fig1a,fig11,tab4   # comma-separated subset
 //	rapbench -list                   # list experiment ids
 //	rapbench -engine-bench           # time the gpusim engine, write BENCH_engine.json
+//	rapbench -chaos                  # perturbation-severity sweep, write BENCH_chaos.json
 package main
 
 import (
@@ -30,12 +31,61 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	engineBench := flag.Bool("engine-bench", false, "benchmark the gpusim engine and exit")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -engine-bench results")
+	chaosMode := flag.Bool("chaos", false, "run the perturbation-severity sweep and exit")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos JSON report")
+	chaosSeed := flag.Int64("chaos-seed", 7, "seed for -chaos perturbation plans")
+	chaosPlan := flag.Int("chaos-plan", 1, "preprocessing plan for -chaos (0-3)")
+	chaosGPUs := flag.Int("chaos-gpus", 4, "cluster size for -chaos")
+	chaosTrace := flag.String("chaos-trace", "", "optional Chrome trace path: RAP at top severity with perturbation spans")
 	flag.Parse()
 
 	if *engineBench {
 		if err := runEngineBench(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "rapbench: engine-bench: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *chaosMode {
+		severities := []float64{0.25, 0.5, 0.75}
+		if *quick {
+			*chaosGPUs = 2
+		}
+		r, err := experiments.ChaosSweep(*chaosPlan, *chaosGPUs, severities, *chaosSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render())
+		f, err := os.Create(*chaosOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "rapbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nchaos report -> %s\n", *chaosOut)
+		if *chaosTrace != "" {
+			tf, err := os.Create(*chaosTrace)
+			if err == nil {
+				err = r.WriteChaosTrace(tf)
+				if cerr := tf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rapbench: chaos: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("chaos trace -> %s\n", *chaosTrace)
 		}
 		return
 	}

@@ -1,0 +1,294 @@
+// Package chaos is a seeded, fully deterministic perturbation-injection
+// layer for the gpusim simulator. A Plan describes timed adverse
+// conditions — GPU throttle windows (SM/DRAM capacity scaled down),
+// link degradation windows, host CPU stalls, and kernel straggler
+// inflation — and applies them to a built simulation DAG as
+// time-varying resource capacities (gpusim capacity windows) plus
+// deterministic work inflation.
+//
+// Everything is reproducible: plans are either written out literally or
+// generated from a seed via math/rand.New (never the global source),
+// and applying the same plan to the same DAG twice yields bit-identical
+// Results. An empty Plan applies nothing and leaves the simulation
+// bit-identical to an unperturbed run.
+//
+// The layer exists to answer the question the happy-path simulator
+// cannot: how gracefully do RAP's resource-aware co-running plans —
+// versus the Sequential/MPS/CUDA-stream baselines — degrade when the
+// hardware misbehaves (multi-tenant contention, thermal throttling,
+// degraded fabrics; cf. the multi-tenant GPU simulation literature).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rap/internal/gpusim"
+	"rap/internal/trace"
+)
+
+// ThrottleWindow scales one GPU's compute and memory capacity during
+// [T0, T1) µs — thermal or power throttling, or an unmodeled co-tenant.
+type ThrottleWindow struct {
+	GPU    int
+	T0, T1 float64
+	// SMScale and MemScale are the remaining capacity fractions in
+	// [0,1]; 1 leaves the resource untouched.
+	SMScale, MemScale float64
+}
+
+// LinkWindow scales one GPU's NVLink bandwidth (both directions) during
+// [T0, T1) µs — a degraded or congested fabric.
+type LinkWindow struct {
+	GPU    int
+	T0, T1 float64
+	Scale  float64
+}
+
+// HostStallWindow shrinks the host CPU pool during [T0, T1) µs — page
+// cache pressure, co-located jobs, or a storage stall starving the
+// data-preparation workers.
+type HostStallWindow struct {
+	T0, T1 float64
+	Scale  float64
+}
+
+// StragglerSpec inflates the work of a deterministic, seed-selected
+// subset of GPU kernels — the straggler kernels every large fleet sees.
+type StragglerSpec struct {
+	// Prob is the per-kernel selection probability in [0,1]; 0 disables
+	// injection.
+	Prob float64
+	// Factor multiplies a selected kernel's work (> 1 inflates).
+	Factor float64
+}
+
+// Plan is one deterministic perturbation scenario. The zero value is
+// the empty plan: applying it is a no-op and perturbs nothing, not even
+// a result bit.
+type Plan struct {
+	// Seed drives straggler selection at Apply time; for generated
+	// plans it records the generator seed.
+	Seed      int64
+	Throttle  []ThrottleWindow
+	Link      []LinkWindow
+	HostStall []HostStallWindow
+	Straggler StragglerSpec
+}
+
+// Empty reports whether applying the plan would perturb nothing.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		(len(p.Throttle) == 0 && len(p.Link) == 0 && len(p.HostStall) == 0 && p.Straggler.Prob <= 0)
+}
+
+// Validate checks window intervals and scales without needing a target
+// simulator (GPU indices are validated against the cluster at Apply).
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	iv := func(kind string, t0, t1, scale float64) error {
+		if !(t1 > t0) {
+			return fmt.Errorf("chaos: %s window has empty interval [%g,%g)", kind, t0, t1)
+		}
+		if !(scale >= 0 && scale <= 1) {
+			return fmt.Errorf("chaos: %s window scale %g outside [0,1]", kind, scale)
+		}
+		return nil
+	}
+	for _, w := range p.Throttle {
+		if err := iv("throttle", w.T0, w.T1, w.SMScale); err != nil {
+			return err
+		}
+		if !(w.MemScale >= 0 && w.MemScale <= 1) {
+			return fmt.Errorf("chaos: throttle window mem scale %g outside [0,1]", w.MemScale)
+		}
+	}
+	for _, w := range p.Link {
+		if err := iv("link", w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.HostStall {
+		if err := iv("host-stall", w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+	}
+	if !(p.Straggler.Prob >= 0 && p.Straggler.Prob <= 1) {
+		return fmt.Errorf("chaos: straggler probability %g outside [0,1]", p.Straggler.Prob)
+	}
+	if p.Straggler.Prob > 0 && !(p.Straggler.Factor > 0) {
+		return fmt.Errorf("chaos: straggler factor %g must be positive", p.Straggler.Factor)
+	}
+	return nil
+}
+
+// Apply injects the plan into a built simulation: capacity windows for
+// every throttle/link/host-stall entry, then straggler inflation over
+// the DAG's kernels. It must be called after the DAG is fully
+// constructed (straggler selection walks the existing ops) and before
+// sim.Run. Applying an empty plan is a no-op.
+func (p *Plan) Apply(sim *gpusim.Sim) error {
+	if p.Empty() {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, w := range p.Throttle {
+		if w.SMScale < 1 {
+			if err := sim.AddCapacityWindow(gpusim.ResSM, w.GPU, w.T0, w.T1, w.SMScale); err != nil {
+				return err
+			}
+		}
+		if w.MemScale < 1 {
+			if err := sim.AddCapacityWindow(gpusim.ResMemBW, w.GPU, w.T0, w.T1, w.MemScale); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range p.Link {
+		if w.Scale >= 1 {
+			continue
+		}
+		if err := sim.AddCapacityWindow(gpusim.ResLinkOut, w.GPU, w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+		if err := sim.AddCapacityWindow(gpusim.ResLinkIn, w.GPU, w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.HostStall {
+		if w.Scale >= 1 {
+			continue
+		}
+		if err := sim.AddCapacityWindow(gpusim.ResHostCPU, 0, w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+	}
+	if p.Straggler.Prob > 0 {
+		if _, err := sim.InjectStragglers(p.Seed, p.Straggler.Prob, p.Straggler.Factor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Spans renders the plan's perturbation windows as chrome-trace
+// annotation spans, so a trace shows *why* an iteration stretched.
+func (p *Plan) Spans() []trace.Span {
+	if p == nil {
+		return nil
+	}
+	var out []trace.Span
+	for _, w := range p.Throttle {
+		out = append(out, trace.Span{
+			Name:  fmt.Sprintf("throttle sm×%.2f mem×%.2f", w.SMScale, w.MemScale),
+			Cat:   "chaos",
+			GPU:   w.GPU,
+			Start: w.T0,
+			End:   w.T1,
+		})
+	}
+	for _, w := range p.Link {
+		out = append(out, trace.Span{
+			Name:  fmt.Sprintf("link×%.2f", w.Scale),
+			Cat:   "chaos",
+			GPU:   w.GPU,
+			Start: w.T0,
+			End:   w.T1,
+		})
+	}
+	for _, w := range p.HostStall {
+		out = append(out, trace.Span{
+			Name:  fmt.Sprintf("host-stall×%.2f", w.Scale),
+			Cat:   "chaos",
+			GPU:   -1,
+			Start: w.T0,
+			End:   w.T1,
+		})
+	}
+	return out
+}
+
+// Scenario parameterizes NewPlan's randomized plan generation.
+type Scenario struct {
+	// NumGPUs is the cluster size windows target.
+	NumGPUs int
+	// HorizonUs is the simulated time span the windows cover; pick the
+	// expected makespan (windows never start after it).
+	HorizonUs float64
+	// Severity in [0,1] scales both how many windows the plan carries
+	// and how deep they cut. 0 yields the empty plan.
+	Severity float64
+}
+
+// NewPlan builds a randomized perturbation plan from a seed: window
+// placement, depth, and straggler selection all derive from
+// math/rand.New(rand.NewSource(seed)), so the same (seed, scenario)
+// always yields the identical plan.
+func NewPlan(seed int64, sc Scenario) (*Plan, error) {
+	if sc.NumGPUs < 1 {
+		return nil, fmt.Errorf("chaos: scenario needs at least 1 GPU, got %d", sc.NumGPUs)
+	}
+	if sc.Severity < 0 {
+		sc.Severity = 0
+	}
+	if sc.Severity > 1 {
+		sc.Severity = 1
+	}
+	p := &Plan{Seed: seed}
+	if sc.Severity <= 0 {
+		return p, nil
+	}
+	if !(sc.HorizonUs > 0) {
+		return nil, fmt.Errorf("chaos: scenario horizon %g must be positive", sc.HorizonUs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sev := sc.Severity
+	// window draws one [t0,t1) covering a severity-scaled slice of the
+	// horizon.
+	window := func() (t0, t1 float64) {
+		dur := (0.05 + 0.25*rng.Float64()) * sev * sc.HorizonUs
+		t0 = rng.Float64() * (sc.HorizonUs - dur)
+		return t0, t0 + dur
+	}
+	// depth draws a remaining-capacity scale: deeper cuts at higher
+	// severity, never below 1-0.7·sev.
+	depth := func() float64 {
+		return 1 - sev*(0.3+0.4*rng.Float64())
+	}
+
+	nThrottle := 1 + int(sev*float64(2*sc.NumGPUs)+0.5)
+	for i := 0; i < nThrottle; i++ {
+		t0, t1 := window()
+		p.Throttle = append(p.Throttle, ThrottleWindow{
+			GPU:      rng.Intn(sc.NumGPUs),
+			T0:       t0,
+			T1:       t1,
+			SMScale:  depth(),
+			MemScale: depth(),
+		})
+	}
+	nLink := int(sev*float64(sc.NumGPUs) + 0.5)
+	for i := 0; i < nLink; i++ {
+		t0, t1 := window()
+		p.Link = append(p.Link, LinkWindow{
+			GPU:   rng.Intn(sc.NumGPUs),
+			T0:    t0,
+			T1:    t1,
+			Scale: depth(),
+		})
+	}
+	nHost := 1 + int(sev*2+0.5)
+	for i := 0; i < nHost; i++ {
+		t0, t1 := window()
+		p.HostStall = append(p.HostStall, HostStallWindow{T0: t0, T1: t1, Scale: depth()})
+	}
+	p.Straggler = StragglerSpec{
+		Prob:   0.05 + 0.20*sev,
+		Factor: 1 + sev*(0.5+rng.Float64()),
+	}
+	return p, nil
+}

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rap/internal/gpusim"
+)
+
+// testDAG builds a small mixed DAG exercising kernels, comm, host
+// copies and CPU ops on a 2-GPU cluster.
+func testDAG() *gpusim.Sim {
+	s := gpusim.NewSim(gpusim.ClusterConfig{NumGPUs: 2, HostCores: 8})
+	for i := 0; i < 12; i++ {
+		s.AddKernel(i%2, gpusim.Kernel{
+			Name:   "k",
+			Work:   20 + float64(i),
+			Demand: gpusim.Demand{SM: 0.5, MemBW: 0.3},
+			Tag:    "train",
+		})
+	}
+	s.AddComm("x", 0, 1, 1e6)
+	s.AddHostCopy("h", 0, 1e5)
+	s.AddCPU("p", 50, 4)
+	return s
+}
+
+func testPlan(seed int64) *Plan {
+	return &Plan{
+		Seed: seed,
+		Throttle: []ThrottleWindow{
+			{GPU: 0, T0: 10, T1: 60, SMScale: 0.5, MemScale: 0.7},
+			{GPU: 1, T0: 20, T1: 90, SMScale: 0.6, MemScale: 1},
+		},
+		Link:      []LinkWindow{{GPU: 0, T0: 0, T1: 40, Scale: 0.4}},
+		HostStall: []HostStallWindow{{T0: 5, T1: 50, Scale: 0.5}},
+		Straggler: StragglerSpec{Prob: 0.4, Factor: 2},
+	}
+}
+
+// TestApplyDeterministic is the chaos counterpart of the
+// mapping/sched/fusion determinism tests: back-to-back runs of the same
+// seeded plan on the same DAG must produce deeply-equal Results.
+func TestApplyDeterministic(t *testing.T) {
+	run := func() *gpusim.Result {
+		s := testDAG()
+		if err := testPlan(7).Apply(s); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("perturbed results differ between identical runs:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestEmptyPlanIsNoOp: applying an empty (or nil) plan must leave the
+// simulation bit-identical to an unperturbed run.
+func TestEmptyPlanIsNoOp(t *testing.T) {
+	plain := testDAG()
+	want, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := testDAG()
+	var empty Plan
+	if err := empty.Apply(perturbed); err != nil {
+		t.Fatal(err)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Apply(perturbed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := perturbed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("empty plan perturbed the result")
+	}
+	if !empty.Empty() || !nilPlan.Empty() {
+		t.Fatal("Empty() misreports the empty plan")
+	}
+	if testPlan(1).Empty() {
+		t.Fatal("Empty() misreports a populated plan")
+	}
+}
+
+func TestApplySlowsExecution(t *testing.T) {
+	plain := testDAG()
+	base, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := testDAG()
+	if err := testPlan(7).Apply(perturbed); err != nil {
+		t.Fatal(err)
+	}
+	res, err := perturbed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= base.Makespan {
+		t.Fatalf("perturbation did not stretch the run: %g <= %g", res.Makespan, base.Makespan)
+	}
+}
+
+func TestNewPlanDeterministicAndSeverity(t *testing.T) {
+	sc := Scenario{NumGPUs: 4, HorizonUs: 10000, Severity: 0.6}
+	a, err := NewPlan(11, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(11, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed built different plans:\n%+v\nvs\n%+v", a, b)
+	}
+	c, err := NewPlan(12, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds built identical plans")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if a.Empty() {
+		t.Fatal("severity 0.6 built an empty plan")
+	}
+	for _, w := range a.Throttle {
+		if w.T0 < 0 || w.T1 > sc.HorizonUs || w.SMScale < 0.3-1e-9 {
+			t.Fatalf("throttle window out of spec: %+v", w)
+		}
+	}
+	zero, err := NewPlan(11, Scenario{NumGPUs: 4, HorizonUs: 10000, Severity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zero.Empty() {
+		t.Fatal("severity 0 must build the empty plan")
+	}
+	if _, err := NewPlan(1, Scenario{NumGPUs: 0, HorizonUs: 100, Severity: 0.5}); err == nil {
+		t.Fatal("NumGPUs 0 accepted")
+	}
+	if _, err := NewPlan(1, Scenario{NumGPUs: 2, Severity: 0.5}); err == nil {
+		t.Fatal("zero horizon accepted at positive severity")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []*Plan{
+		{Throttle: []ThrottleWindow{{GPU: 0, T0: 10, T1: 10, SMScale: 0.5, MemScale: 1}}},
+		{Throttle: []ThrottleWindow{{GPU: 0, T0: 0, T1: 10, SMScale: 1.5, MemScale: 1}}},
+		{Throttle: []ThrottleWindow{{GPU: 0, T0: 0, T1: 10, SMScale: 0.5, MemScale: math.NaN()}}},
+		{Link: []LinkWindow{{GPU: 0, T0: 5, T1: 4, Scale: 0.5}}},
+		{HostStall: []HostStallWindow{{T0: 0, T1: 10, Scale: -0.1}}},
+		{Straggler: StragglerSpec{Prob: 2, Factor: 2}},
+		{Straggler: StragglerSpec{Prob: 0.5, Factor: 0}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d: expected validation error", i)
+		}
+	}
+	// Apply surfaces GPU indices outside the target cluster.
+	s := testDAG()
+	oob := &Plan{Throttle: []ThrottleWindow{{GPU: 5, T0: 0, T1: 10, SMScale: 0.5, MemScale: 1}}}
+	if err := oob.Apply(s); err == nil {
+		t.Error("out-of-cluster GPU accepted at Apply")
+	}
+}
+
+func TestSpans(t *testing.T) {
+	p := testPlan(1)
+	spans := p.Spans()
+	want := len(p.Throttle) + len(p.Link) + len(p.HostStall)
+	if len(spans) != want {
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	for _, sp := range spans {
+		if sp.Cat != "chaos" || !(sp.End > sp.Start) {
+			t.Fatalf("bad span: %+v", sp)
+		}
+	}
+	hostSeen := false
+	for _, sp := range spans {
+		if sp.GPU < 0 {
+			hostSeen = true
+		}
+	}
+	if !hostSeen {
+		t.Fatal("host stall span missing host-row placement")
+	}
+	if (*Plan)(nil).Spans() != nil {
+		t.Fatal("nil plan must yield no spans")
+	}
+}

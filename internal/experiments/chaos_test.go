@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestChaosSweepQuick(t *testing.T) {
+	r, err := ChaosSweep(1, 2, []float64{0.3, 0.7}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ChaosSystems()) * 2; len(r.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(r.Cells), want)
+	}
+	if len(r.Plans) != 2 {
+		t.Fatalf("plans = %d, want 2", len(r.Plans))
+	}
+	if r.HorizonUs <= 0 {
+		t.Fatalf("horizon = %f", r.HorizonUs)
+	}
+	for _, sys := range ChaosSystems() {
+		lo, hi := r.lookup(sys, 0.3), r.lookup(sys, 0.7)
+		if lo == nil || hi == nil {
+			t.Fatalf("%s: missing cells", sys)
+		}
+		if lo.BaseMakespanUs <= 0 || lo.MakespanUs <= 0 {
+			t.Fatalf("%s: empty makespans: %+v", sys, lo)
+		}
+		// Capacity cuts and straggler inflation only remove resources;
+		// they must not speed a system up.
+		if lo.DegradationPct < -1e-6 || hi.DegradationPct < -1e-6 {
+			t.Fatalf("%s: negative degradation: lo=%.2f hi=%.2f", sys, lo.DegradationPct, hi.DegradationPct)
+		}
+		// Severity 0.7 cuts deeper and wider than 0.3; some slowdown must
+		// materialize at the top of the sweep.
+		if hi.DegradationPct <= 0 {
+			t.Fatalf("%s: severity 0.7 caused no degradation", sys)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ChaosResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(r.Cells) || back.Seed != r.Seed {
+		t.Fatal("JSON round-trip lost data")
+	}
+
+	out := r.Render()
+	if !strings.Contains(out, "Chaos sweep") || !strings.Contains(out, "RAP") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := r.WriteChaosTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"chaos"`) {
+		t.Fatal("chaos trace missing perturbation spans")
+	}
+}

@@ -147,6 +147,14 @@ type engine struct {
 	res   []resState
 	dirty []int32 // indices of resources whose user set changed
 
+	// caps is each resource's current capacity (1.0 absent perturbation);
+	// capEvents are the pending step changes, time-ordered, consumed via
+	// capIdx. Boundaries clamp the event horizon so capacity is constant
+	// within every simulated segment.
+	caps      []float64
+	capEvents []capEvent
+	capIdx    int
+
 	// demOff/dems hold every op's demands with pre-resolved dense
 	// indices, packed flat: op o's demands are dems[demOff[o]:demOff[o+1]].
 	demOff []int32
@@ -209,6 +217,7 @@ func newEngine(s *Sim) *engine {
 		accBW:   make([]float64, g),
 		tagAcc:  make([][]tagGrant, g),
 	}
+	e.caps, e.capEvents = compileCapWindows(s)
 	total := 0
 	for _, o := range s.ops {
 		total += len(o.demands)
@@ -278,6 +287,10 @@ func (e *engine) refreshFactors(idx int32) {
 		}
 	}
 	st.factors = st.factors[:0]
+	// cap is the resource's current (possibly perturbed) capacity; with
+	// no active window it is exactly 1.0 and every expression below
+	// reduces bit-for-bit to the constant-capacity math.
+	cap := e.caps[idx]
 	switch e.s.cfg.Policy {
 	case PrioritySpace:
 		// Highest priority first. Insertion sort: levels are few and
@@ -288,7 +301,7 @@ func (e *engine) refreshFactors(idx int32) {
 			}
 		}
 		isSM := int(idx) < e.numGPUs // kind-major layout: SM block first
-		remaining := 1.0
+		remaining := cap
 		for i, lv := range st.levels {
 			f := 1.0
 			if lv.load > remaining {
@@ -319,8 +332,8 @@ func (e *engine) refreshFactors(idx int32) {
 			total += lv.load
 		}
 		f := 1.0
-		if total > 1 {
-			f = math.Pow(1/total, ContentionExponent)
+		if total > cap {
+			f = math.Pow(cap/total, ContentionExponent)
 		}
 		for _, lv := range st.levels {
 			st.factors = append(st.factors, prioFactor{prio: lv.prio, f: f})
@@ -411,6 +424,17 @@ func (e *engine) run() (*Result, error) {
 		if math.IsInf(dt, 1) {
 			dt = 0 // only zero-work ops are running; complete them now
 		}
+		// Capacity boundaries are events too: never integrate across a
+		// step change. (With no windows this branch never fires and the
+		// float trajectory is untouched.)
+		if e.capIdx < len(e.capEvents) {
+			if lim := e.capEvents[e.capIdx].t - now; lim < dt {
+				dt = lim
+				if dt < 0 {
+					dt = 0
+				}
+			}
+		}
 
 		// Record utilization for this segment.
 		if dt > timeEps {
@@ -419,6 +443,13 @@ func (e *engine) run() (*Result, error) {
 
 		// Advance and retire.
 		now += dt
+		for e.capIdx < len(e.capEvents) && e.capEvents[e.capIdx].t <= now+timeEps {
+			for _, ch := range e.capEvents[e.capIdx].changes {
+				e.caps[ch.idx] = ch.cap
+				e.markDirty(ch.idx)
+			}
+			e.capIdx++
+		}
 		next := e.running[:0]
 		finished := e.finished[:0]
 		for _, o := range e.running {
@@ -578,8 +609,12 @@ func equalTagSM(a, b map[string]float64) bool {
 
 // BusyFraction returns the fraction of [0,upTo] during which GPU g had at
 // least one kernel resident (the NVML-style "GPU utilization" metric of
-// Table 4). upTo <= 0 means the whole makespan.
+// Table 4). upTo <= 0 means the whole makespan. An out-of-range g
+// yields 0.
 func (r *Result) BusyFraction(g int, upTo float64) float64 {
+	if g < 0 || g >= len(r.Util) {
+		return 0
+	}
 	if upTo <= 0 {
 		upTo = r.Makespan
 	}

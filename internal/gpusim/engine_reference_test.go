@@ -65,6 +65,13 @@ func referenceRun(s *Sim) (*Result, error) {
 	var running []*op
 	done := 0
 
+	// Time-varying capacities, mirroring the optimized engine: the same
+	// compiled step function, the same boundary clamping of dt, the same
+	// application point. With no windows caps is all-1.0 and capEvents
+	// empty, reproducing the pre-perturbation engine exactly.
+	caps, capEvents := compileCapWindows(s)
+	capIdx := 0
+
 	start := func(o *op) {
 		o.state = opLaunching
 		o.start = now
@@ -86,7 +93,7 @@ func referenceRun(s *Sim) (*Result, error) {
 		}
 
 		// Resource factors for ops in the work phase.
-		factors := refResourceFactors(s, running)
+		factors := refResourceFactors(s, running, caps)
 
 		// Per-op speed and the next event horizon.
 		dt := math.Inf(1)
@@ -123,6 +130,14 @@ func referenceRun(s *Sim) (*Result, error) {
 		if math.IsInf(dt, 1) {
 			dt = 0 // only zero-work ops are running; complete them now
 		}
+		if capIdx < len(capEvents) {
+			if lim := capEvents[capIdx].t - now; lim < dt {
+				dt = lim
+				if dt < 0 {
+					dt = 0
+				}
+			}
+		}
 
 		// Record utilization for this segment.
 		if dt > timeEps {
@@ -131,6 +146,12 @@ func referenceRun(s *Sim) (*Result, error) {
 
 		// Advance and retire.
 		now += dt
+		for capIdx < len(capEvents) && capEvents[capIdx].t <= now+timeEps {
+			for _, ch := range capEvents[capIdx].changes {
+				caps[ch.idx] = ch.cap
+			}
+			capIdx++
+		}
 		next := running[:0]
 		var finished []*op
 		for _, o := range running {
@@ -178,8 +199,9 @@ func referenceRun(s *Sim) (*Result, error) {
 // refResourceFactors computes, for every (resource, priority level) with
 // at least one running user, the slowdown factor its users receive —
 // rebuilding the full map on every call, as the pre-optimization engine
-// did.
-func refResourceFactors(s *Sim, running []*op) map[refFactorKey]float64 {
+// did. caps holds the current per-resource capacities in the dense
+// kind-major layout (all 1.0 absent perturbation windows).
+func refResourceFactors(s *Sim, running []*op, caps []float64) map[refFactorKey]float64 {
 	type level struct {
 		prio int
 		load float64
@@ -212,10 +234,11 @@ func refResourceFactors(s *Sim, running []*op) map[refFactorKey]float64 {
 
 	out := make(map[refFactorKey]float64)
 	for rk, levels := range byRes {
+		cap := caps[resIndex(rk.kind, rk.gpu, s.cfg.NumGPUs)]
 		switch s.cfg.Policy {
 		case PrioritySpace:
 			sort.Slice(levels, func(i, j int) bool { return levels[i].prio > levels[j].prio })
-			remaining := 1.0
+			remaining := cap
 			for i, lv := range levels {
 				f := 1.0
 				if lv.load > remaining {
@@ -246,8 +269,8 @@ func refResourceFactors(s *Sim, running []*op) map[refFactorKey]float64 {
 				total += lv.load
 			}
 			f := 1.0
-			if total > 1 {
-				f = math.Pow(1/total, ContentionExponent)
+			if total > cap {
+				f = math.Pow(cap/total, ContentionExponent)
 			}
 			for _, lv := range levels {
 				out[refFactorKey{rk, lv.prio}] = f

@@ -1,0 +1,124 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// chaosGoldenSeeds is the number of perturbed DAGs whose bit-exact
+// results are pinned. Fewer than the plain-DAG suite: each run already
+// exercises every window kind plus straggler injection.
+const chaosGoldenSeeds = 32
+
+// perturbGoldenDAG layers a seeded, non-trivial perturbation onto a
+// golden DAG: capacity windows on every resource class plus straggler
+// inflation. Like buildGoldenDAG it must stay byte-for-byte stable —
+// the committed chaos digests were produced from these exact plans.
+func perturbGoldenDAG(s *Sim, seed int64) error {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	gpus := s.Config().NumGPUs
+	window := func(rc ResourceClass, gpu int) error {
+		t0 := rng.Float64() * 300
+		dur := 20 + rng.Float64()*400
+		scale := 0.3 + rng.Float64()*0.6
+		return s.AddCapacityWindow(rc, gpu, t0, t0+dur, scale)
+	}
+	for _, rc := range []ResourceClass{ResSM, ResMemBW, ResLinkOut, ResLinkIn, ResCopyEngine} {
+		for w := 0; w < 1+rng.Intn(2); w++ {
+			if err := window(rc, rng.Intn(gpus)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := window(ResHostCPU, 0); err != nil {
+		return err
+	}
+	_, err := s.InjectStragglers(seed, 0.25, 1.5+rng.Float64()*2)
+	return err
+}
+
+func chaosGoldenDigestPath() string {
+	return filepath.Join("testdata", fmt.Sprintf("golden_chaos_digests_%s.json", runtime.GOARCH))
+}
+
+// TestGoldenChaosDigests pins the bit-exact results of the perturbed
+// golden DAGs, so the time-varying-capacity event handling cannot drift
+// silently. Regenerate with GPUSIM_UPDATE_GOLDEN=1 (only legitimate
+// when intentionally changing simulator or perturbation semantics).
+func TestGoldenChaosDigests(t *testing.T) {
+	digests := make([]string, chaosGoldenSeeds)
+	for seed := 0; seed < chaosGoldenSeeds; seed++ {
+		s := buildGoldenDAG(int64(seed))
+		if err := perturbGoldenDAG(s, int64(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		digests[seed] = digestResult(res)
+	}
+	path := chaosGoldenDigestPath()
+	if os.Getenv("GPUSIM_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(digests, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(digests), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// Digests are arch-specific; absence on a new platform is not a
+		// failure.
+		t.Skipf("no chaos golden digest file for %s: %v", runtime.GOARCH, err)
+	}
+	var want []string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(digests) {
+		t.Fatalf("chaos golden file has %d digests, want %d (regenerate with GPUSIM_UPDATE_GOLDEN=1)", len(want), len(digests))
+	}
+	for seed, d := range digests {
+		if d != want[seed] {
+			t.Errorf("seed %d: perturbed digest %s != golden %s (perturbation semantics changed)", seed, d[:12], want[seed][:12])
+		}
+	}
+}
+
+// TestGoldenChaosEquivalence replays the perturbed golden DAGs through
+// the reference engine as well — the platform-independent counterpart
+// of TestGoldenChaosDigests.
+func TestGoldenChaosEquivalence(t *testing.T) {
+	for seed := 0; seed < chaosGoldenSeeds; seed++ {
+		fast := buildGoldenDAG(int64(seed))
+		if err := perturbGoldenDAG(fast, int64(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := fast.Run()
+		if err != nil {
+			t.Fatalf("seed %d: optimized engine: %v", seed, err)
+		}
+		ref := buildGoldenDAG(int64(seed))
+		if err := perturbGoldenDAG(ref, int64(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := referenceRun(ref)
+		if err != nil {
+			t.Fatalf("seed %d: reference engine: %v", seed, err)
+		}
+		compareResults(t, seed, got, want)
+	}
+}

@@ -126,6 +126,11 @@ type ClusterConfig struct {
 	// CopyGBs is the per-GPU host-to-device copy bandwidth in GB/s
 	// (default 25, PCIe 4-class).
 	CopyGBs float64
+	// DramGBs is the per-GPU DRAM bandwidth in GB/s used to charge
+	// device-local copies (default 1555, A100 HBM2-class). Kernel MemBW
+	// demands stay fractional; this converts same-GPU transfer bytes
+	// into occupancy time on that fraction scale.
+	DramGBs float64
 	// HostCores is the size of the host CPU pool available to CPU ops,
 	// expressed as schedulable workers (default 64).
 	HostCores int
@@ -143,6 +148,9 @@ func (c ClusterConfig) WithDefaults() ClusterConfig {
 	}
 	if c.CopyGBs <= 0 {
 		c.CopyGBs = 25
+	}
+	if c.DramGBs <= 0 {
+		c.DramGBs = 1555
 	}
 	if c.HostCores <= 0 {
 		c.HostCores = 64
@@ -196,6 +204,9 @@ type op struct {
 	tag      string
 	gpu      int // -1 for host-only ops
 	priority int
+	// isKernel marks ops added via AddKernel; straggler injection only
+	// targets these.
+	isKernel bool
 
 	overheadLeft float64
 	workLeft     float64
@@ -262,8 +273,12 @@ func (r *Result) OpsByName(name string) []OpResult {
 }
 
 // AvgUtil returns the time-weighted mean SM and bandwidth utilization of
-// GPU g over [0, upTo]; upTo <= 0 means the whole makespan.
+// GPU g over [0, upTo]; upTo <= 0 means the whole makespan. An
+// out-of-range g yields zeros.
 func (r *Result) AvgUtil(g int, upTo float64) (sm, bw float64) {
+	if g < 0 || g >= len(r.Util) {
+		return 0, 0
+	}
 	if upTo <= 0 {
 		upTo = r.Makespan
 	}
@@ -292,9 +307,9 @@ type Sample struct {
 }
 
 // UtilSeries resamples GPU g's utilization at the given period, for
-// plotting Figure 1(a)-style traces.
+// plotting Figure 1(a)-style traces. An out-of-range g yields nil.
 func (r *Result) UtilSeries(g int, dt float64) []Sample {
-	if dt <= 0 || r.Makespan <= 0 {
+	if g < 0 || g >= len(r.Util) || dt <= 0 || r.Makespan <= 0 {
 		return nil
 	}
 	n := int(math.Ceil(r.Makespan/dt)) + 1
@@ -322,6 +337,9 @@ type Sim struct {
 	ops     []*op
 	streams map[string]OpID // last op per stream, for implicit chaining
 	ran     bool
+	// capWindows holds the time-varying capacity scalings (see
+	// capacity.go); empty means every resource has capacity 1.0 forever.
+	capWindows []capWindow
 }
 
 // NewSim creates a simulator for the given cluster.
@@ -390,6 +408,7 @@ func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
 		name:         k.Name,
 		tag:          k.Tag,
 		gpu:          gpu,
+		isKernel:     true,
 		overheadLeft: k.overhead(),
 		workLeft:     math.Max(k.Work, 0),
 	}
@@ -408,8 +427,22 @@ func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption
 	s.mustGPU(src)
 	s.mustGPU(dst)
 	if src == dst {
-		// Local "transfer": free apart from a trivial latency.
-		o := &op{name: name, tag: "comm", gpu: src, workLeft: 0.5}
+		// Device-local "transfer": a D2D copy through DRAM, charged at
+		// the GPU's memory bandwidth and contending with kernels for it.
+		// (It used to be a flat 0.5 µs regardless of size, which made
+		// data-locality mappings unrealistically free; 0.5 µs remains as
+		// the copy-launch latency floor.)
+		work := bytes / (s.cfg.DramGBs * 1e3)
+		if work < 0.5 {
+			work = 0.5
+		}
+		o := &op{
+			name:     name,
+			tag:      "comm",
+			gpu:      src,
+			workLeft: work,
+			demands:  []demandSpec{{resBW, src, 1}},
+		}
 		return s.add(o, opts...)
 	}
 	work := bytes / (s.cfg.LinkGBs * 1e3) // µs at full link speed

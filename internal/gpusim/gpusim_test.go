@@ -167,15 +167,60 @@ func TestCommLatency(t *testing.T) {
 	almost(t, res.OpByID(id).Latency(), 10, 1e-6, "comm latency")
 }
 
-func TestCommSameGPUFree(t *testing.T) {
-	s := NewSim(ClusterConfig{NumGPUs: 2, LinkGBs: 100})
+func TestCommSameGPUChargesDRAM(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2, LinkGBs: 100, DramGBs: 1000})
+	// 1 GB at 1000 GB/s = 1e9 / (1000*1e3) µs = 1000 µs: a local
+	// transfer is a D2D copy through DRAM, not free.
 	id := s.AddComm("local", 1, 1, 1e9)
 	res, err := s.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.OpByID(id).Latency() > 1 {
-		t.Fatalf("local transfer should be ~free, got %f", res.OpByID(id).Latency())
+	almost(t, res.OpByID(id).Latency(), 1000, 1e-6, "local copy at DRAM bandwidth")
+}
+
+func TestCommSameGPUFloorAndContention(t *testing.T) {
+	// Tiny local transfers keep the 0.5 µs floor; large ones contend
+	// with kernels for MemBW.
+	s := NewSim(ClusterConfig{NumGPUs: 1, DramGBs: 1000})
+	tiny := s.AddComm("tiny", 0, 0, 1)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.OpByID(tiny).Latency(), 0.5, 1e-9, "local copy latency floor")
+
+	s2 := NewSim(ClusterConfig{NumGPUs: 1, DramGBs: 1000})
+	c := s2.AddComm("big", 0, 0, 1e9) // 1000 µs solo
+	k := s2.AddKernel(0, Kernel{Name: "k", Work: 1000, LaunchOverhead: -1, Demand: Demand{MemBW: 1}})
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy (BW demand 1) + kernel (BW demand 1): both stretched by the
+	// fair-share oversubscription factor 2^φ.
+	want := 1000 * math.Pow(2, ContentionExponent)
+	almost(t, res2.OpByID(c).Latency(), want, 1e-6, "local copy under BW contention")
+	almost(t, res2.OpByID(k).Latency(), want, 1e-6, "kernel stretched by local copy")
+}
+
+func TestResultRangeGuards(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 2})
+	s.AddKernel(0, Kernel{Name: "k", Work: 10, Demand: Demand{SM: 0.5}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{-1, 2, 100} {
+		if sm, bw := res.AvgUtil(g, 0); sm != 0 || bw != 0 {
+			t.Fatalf("AvgUtil(%d) = %v,%v; want zeros", g, sm, bw)
+		}
+		if got := res.UtilSeries(g, 1); got != nil {
+			t.Fatalf("UtilSeries(%d) = %v; want nil", g, got)
+		}
+		if got := res.BusyFraction(g, 0); got != 0 {
+			t.Fatalf("BusyFraction(%d) = %v; want 0", g, got)
+		}
 	}
 }
 

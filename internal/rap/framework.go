@@ -3,6 +3,7 @@ package rap
 import (
 	"fmt"
 
+	"rap/internal/chaos"
 	"rap/internal/costmodel"
 	"rap/internal/dlrm"
 	"rap/internal/fusion"
@@ -261,6 +262,14 @@ func hostPrepUs(s *sched.Schedule) float64 {
 
 // Execute simulates the pipelined plan for the given iteration count.
 func (f *Framework) Execute(p *ExecPlan, iterations int) (*sched.PipelineStats, error) {
+	return f.ExecuteChaos(p, iterations, nil)
+}
+
+// ExecuteChaos is Execute under a perturbation plan: cp's capacity
+// windows and straggler inflation are injected into the built pipeline
+// before simulation. A nil (or empty) plan makes this identical to
+// Execute.
+func (f *Framework) ExecuteChaos(p *ExecPlan, iterations int, cp *chaos.Plan) (*sched.PipelineStats, error) {
 	streams := 1
 	if p.Opts.NaiveSchedule && !p.Opts.SequentialPreproc && p.Opts.PreprocPriority >= 1 {
 		// The MPS baseline's preprocessing process runs 8 workers, all
@@ -274,6 +283,7 @@ func (f *Framework) Execute(p *ExecPlan, iterations int) (*sched.PipelineStats, 
 		SequentialPreproc: p.Opts.SequentialPreproc,
 		PreprocPriority:   p.Opts.PreprocPriority,
 		PreprocStreams:    streams,
+		Chaos:             cp,
 	})
 }
 

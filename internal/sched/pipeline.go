@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"rap/internal/chaos"
 	"rap/internal/dlrm"
 	"rap/internal/gpusim"
 )
@@ -37,13 +38,18 @@ func (w GPUWork) workers() int {
 	return w.CPUWorkers
 }
 
+// NoWarmup is the Warmup sentinel requesting zero warmup iterations
+// (the zero value means "use the default of 2").
+const NoWarmup = -1
+
 // PipelineOptions controls pipeline construction.
 type PipelineOptions struct {
 	Iterations int
-	// Warmup iterations excluded from steady-state measurement
-	// (default 2, clamped to Iterations-1; a single-iteration run has
-	// no warmup and the steady-state window falls back to the full
-	// run).
+	// Warmup is the number of iterations excluded from steady-state
+	// measurement. 0 means the default of 2; NoWarmup (or any negative
+	// value) requests zero warmup. Always clamped to Iterations-1, so a
+	// single-iteration run has no warmup and the steady-state window
+	// falls back to the full run.
 	Warmup int
 	// Interleave enables §6.3 inter-batch workload interleaving: the
 	// data preparation of batch n+1 overlaps the preprocessing kernels
@@ -62,14 +68,21 @@ type PipelineOptions struct {
 	// resource contention (§8.2); kernels are distributed round-robin,
 	// a slight over-approximation of the baselines' parallelism.
 	PreprocStreams int
+	// Chaos, when non-nil, applies the perturbation plan (capacity
+	// windows + straggler inflation, see internal/chaos) to the built
+	// pipeline DAG before simulation. A nil or empty plan leaves the
+	// simulation bit-identical to an unperturbed run.
+	Chaos *chaos.Plan
 }
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
 	if o.Iterations <= 0 {
 		o.Iterations = 8
 	}
-	if o.Warmup <= 0 {
+	if o.Warmup == 0 {
 		o.Warmup = 2
+	} else if o.Warmup < 0 {
+		o.Warmup = 0
 	}
 	if o.Warmup >= o.Iterations {
 		o.Warmup = o.Iterations - 1
@@ -126,6 +139,9 @@ func BuildAndRun(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placemen
 		if err := b.addIteration(i); err != nil {
 			return nil, err
 		}
+	}
+	if err := opts.Chaos.Apply(b.sim); err != nil {
+		return nil, err
 	}
 
 	res, err := b.sim.Run()

@@ -62,8 +62,11 @@ type UtilSummary struct {
 }
 
 // Summarize computes the utilization summary of GPU g over [0, upTo]
-// (upTo <= 0 = makespan).
+// (upTo <= 0 = makespan). An out-of-range g yields a zero summary.
 func Summarize(res *gpusim.Result, g int, upTo float64) UtilSummary {
+	if g < 0 || g >= len(res.Util) {
+		return UtilSummary{TagSM: map[string]float64{}}
+	}
 	if upTo <= 0 {
 		upTo = res.Makespan
 	}
@@ -91,9 +94,13 @@ func Summarize(res *gpusim.Result, g int, upTo float64) UtilSummary {
 	return out
 }
 
-// MeanSummary averages summaries across GPUs.
+// MeanSummary averages summaries across GPUs. A non-positive numGPUs
+// yields an empty summary instead of NaNs.
 func MeanSummary(res *gpusim.Result, numGPUs int, upTo float64) UtilSummary {
 	agg := UtilSummary{TagSM: map[string]float64{}}
+	if numGPUs <= 0 {
+		return agg
+	}
 	for g := 0; g < numGPUs; g++ {
 		s := Summarize(res, g, upTo)
 		agg.GPUUtil += s.GPUUtil
