@@ -1,43 +1,68 @@
 // raplint runs the project's domain-specific static analyzers over the
-// module: maporder, seededrand, floateq, unitmix and panicpath guard
-// the determinism and unit invariants the simulator's golden digests
-// depend on (see internal/lint and DESIGN.md).
+// module. The v1 local analyzers — maporder, seededrand, floateq,
+// unitmix, panicpath — guard per-package determinism and unit
+// invariants; the v2 whole-program analyzers — detaint, guardedby,
+// goroutinecapture, unusedignore — follow nondeterminism across the
+// call graph, enforce `// guarded by` mutex contracts, inspect
+// goroutine closures, and keep the //lint:ignore inventory honest (see
+// internal/lint and DESIGN.md §6).
 //
 // Usage:
 //
-//	go run ./cmd/raplint [packages]   # default ./...
-//	go run ./cmd/raplint -list       # describe the analyzers
+//	go run ./cmd/raplint [flags] [packages]   # default ./...
+//	go run ./cmd/raplint -list                # describe the analyzers
+//
+// Flags:
+//
+//	-json FILE    write a machine-readable report (findings + stats); "-" for stdout
+//	-sarif FILE   write a SARIF 2.1.0 log; "-" for stdout
+//	-timing       print per-analyzer wall time and cache stats to stderr
+//	-nocache      disable the per-package content-hash result cache
+//	-cache-dir D  override the cache directory (default per-user cache)
+//	-jobs N       concurrent package analysis (default GOMAXPROCS)
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings can
 // be suppressed with `//lint:ignore <analyzer> <reason>` on or above
-// the offending line.
+// the offending line; deterministic entry points are declared with
+// `//rap:deterministic` in a function's doc comment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"rap/internal/lint"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.String("json", "", "write a JSON report to this file (\"-\" for stdout)")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	timing := flag.Bool("timing", false, "print per-analyzer wall time and cache stats to stderr")
+	noCache := flag.Bool("nocache", false, "disable the per-package result cache")
+	cacheDir := flag.String("cache-dir", "", "cache directory (default: per-user cache)")
+	jobs := flag.Int("jobs", 0, "concurrent package analysis (default GOMAXPROCS)")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	findings, err := lint.Run(".", patterns, analyzers)
+	findings, stats, err := lint.RunWithOptions(lint.Options{
+		Dir:       ".",
+		Patterns:  flag.Args(),
+		Analyzers: analyzers,
+		NoCache:   *noCache,
+		CacheDir:  *cacheDir,
+		Jobs:      *jobs,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "raplint:", err)
 		os.Exit(2)
@@ -45,8 +70,58 @@ func main() {
 	for _, f := range findings {
 		fmt.Println(f)
 	}
+	if err := writeReport(*jsonOut, func(w *os.File) error {
+		return lint.WriteJSONReport(w, ".", findings, stats)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "raplint:", err)
+		os.Exit(2)
+	}
+	if err := writeReport(*sarifOut, func(w *os.File) error {
+		return lint.WriteSARIF(w, ".", analyzers, findings)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "raplint:", err)
+		os.Exit(2)
+	}
+	if *timing {
+		printTiming(stats)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "raplint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+func writeReport(path string, write func(*os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printTiming(stats *lint.Stats) {
+	fmt.Fprintf(os.Stderr, "raplint: %d packages (%d cached) in %s (load %s, analyze %s)\n",
+		stats.Packages, stats.CacheHits, round(stats.Total), round(stats.Load), round(stats.Analyze))
+	names := make([]string, 0, len(stats.PerAnalyzer))
+	for name := range stats.PerAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-18s %s\n", name, round(stats.PerAnalyzer[name]))
+	}
+}
+
+func round(d time.Duration) time.Duration {
+	return d.Round(10 * time.Microsecond)
 }

@@ -129,6 +129,8 @@ func (p *Plan) Validate() error {
 // the DAG's kernels. It must be called after the DAG is fully
 // constructed (straggler selection walks the existing ops) and before
 // sim.Run. Applying an empty plan is a no-op.
+//
+//rap:deterministic
 func (p *Plan) Apply(sim *gpusim.Sim) error {
 	if p.Empty() {
 		return nil
@@ -228,6 +230,8 @@ type Scenario struct {
 // placement, depth, and straggler selection all derive from
 // math/rand.New(rand.NewSource(seed)), so the same (seed, scenario)
 // always yields the identical plan.
+//
+//rap:deterministic
 func NewPlan(seed int64, sc Scenario) (*Plan, error) {
 	if sc.NumGPUs < 1 {
 		return nil, fmt.Errorf("chaos: scenario needs at least 1 GPU, got %d", sc.NumGPUs)

@@ -126,6 +126,8 @@ type ScaledGraph struct {
 
 // PlanFusion computes the horizontal-fusion plan for the graphs mapped
 // to one GPU, all processing the same shape.
+//
+//rap:deterministic
 func PlanFusion(graphs []*preproc.Graph, shape preproc.Shape, opts Options) (*Plan, error) {
 	items := make([]ScaledGraph, len(graphs))
 	for i, g := range graphs {
@@ -135,6 +137,8 @@ func PlanFusion(graphs []*preproc.Graph, shape preproc.Shape, opts Options) (*Pl
 }
 
 // PlanFusionScaled is PlanFusion with per-graph shapes.
+//
+//rap:deterministic
 func PlanFusionScaled(items []ScaledGraph, opts Options) (*Plan, error) {
 	graphs := make([]*preproc.Graph, len(items))
 	shapes := map[*preproc.Graph]preproc.Shape{}

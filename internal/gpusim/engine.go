@@ -174,6 +174,8 @@ type engine struct {
 
 // Run executes the accumulated op DAG and returns the timeline. A Sim is
 // single-use: Run may only be called once.
+//
+//rap:deterministic
 func (s *Sim) Run() (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("gpusim: Sim.Run called twice")

@@ -343,6 +343,8 @@ type Sim struct {
 }
 
 // NewSim creates a simulator for the given cluster.
+//
+//rap:deterministic
 func NewSim(cfg ClusterConfig) *Sim {
 	return &Sim{cfg: cfg.WithDefaults(), streams: make(map[string]OpID)}
 }

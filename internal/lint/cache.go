@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// lintVersion participates in every cache key; bump it whenever an
+// analyzer's behavior changes in a way the content hashes cannot see.
+// (When the analyzed module is this repository itself, the content hash
+// of internal/lint is mixed into the salt as well, so editing the
+// analyzers invalidates the cache automatically.)
+const lintVersion = "2"
+
+// cacheEntry is one package's persisted analysis result. Findings
+// exclude the whole-run unusedignore check (recomputed every run);
+// Used records which //lint:ignore directives this package's analysis
+// suppressed findings with — anywhere in the module, since detaint can
+// consume a directive in a package it traverses — so warm runs can
+// replay the usage marking. Decls lists the package's own well-formed
+// directives for the same check.
+type cacheEntry struct {
+	Version  string      `json:"version"`
+	Package  string      `json:"package"`
+	Findings []Finding   `json:"findings"`
+	Used     []IgnoreRef `json:"used,omitempty"`
+	Decls    []IgnoreRef `json:"decls,omitempty"`
+}
+
+// cacheState computes per-package cache keys — a deep content hash over
+// the package's Go files and, transitively, every module package it
+// imports, salted with the lint version, the Go toolchain version, and
+// the analyzer suite — and reads/writes entries under dir.
+type cacheState struct {
+	dir  string
+	salt string
+	ml   *moduleList
+	deep map[string]string // import path -> deep hash ("" = unhashable)
+}
+
+// DefaultCacheDir returns the per-user raplint cache directory.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "raplint")
+}
+
+func openCache(dir string, ml *moduleList, analyzers []*Analyzer) (*cacheState, error) {
+	if dir == "" {
+		dir = DefaultCacheDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "raplint\x00%s\x00%s\x00", lintVersion, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "%s\x00", a.Name)
+	}
+	// Self-invalidation: when the analyzed module ships the analyzers
+	// themselves, their sources join the salt.
+	if ml.modulePath != "" {
+		if lintMeta := ml.metas[ml.modulePath+"/internal/lint"]; lintMeta != nil {
+			ch, err := contentHash(lintMeta)
+			if err == nil {
+				fmt.Fprintf(h, "self\x00%s\x00", ch)
+			}
+		}
+	}
+	return &cacheState{
+		dir:  dir,
+		salt: hex.EncodeToString(h.Sum(nil)),
+		ml:   ml,
+		deep: map[string]string{},
+	}, nil
+}
+
+// contentHash hashes a package's Go sources (names and bytes).
+func contentHash(meta *listPkg) (string, error) {
+	h := sha256.New()
+	for _, name := range meta.GoFiles {
+		b, err := os.ReadFile(filepath.Join(meta.Dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(b))
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// key returns the package's cache key: the deep hash over its own
+// sources and the deep hashes of its module imports, or an error when
+// some input cannot be hashed (in which case the package is analyzed
+// uncached).
+func (c *cacheState) key(path string) (string, error) {
+	if k, ok := c.deep[path]; ok {
+		if k == "" {
+			return "", fmt.Errorf("lint: %s is not cacheable", path)
+		}
+		return k, nil
+	}
+	c.deep[path] = "" // cycle/error sentinel while computing
+	meta := c.ml.metas[path]
+	if meta == nil {
+		return "", fmt.Errorf("lint: no metadata for %s", path)
+	}
+	ch, err := contentHash(meta)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00", c.salt, path, ch)
+	imports := append([]string(nil), meta.Imports...)
+	sort.Strings(imports)
+	for _, imp := range imports {
+		if !c.isModulePkg(imp) {
+			continue // stdlib: covered by the toolchain version in the salt
+		}
+		if c.ml.metas[imp] == nil {
+			// Dependency metadata not listed yet (narrow patterns):
+			// fetch the closure once, then retry.
+			if err := c.ml.ensureDeps(); err != nil {
+				return "", err
+			}
+		}
+		dk, err := c.key(imp)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", imp, dk)
+	}
+	k := hex.EncodeToString(h.Sum(nil))
+	c.deep[path] = k
+	return k, nil
+}
+
+func (c *cacheState) isModulePkg(importPath string) bool {
+	if c.ml.modulePath == "" {
+		return false
+	}
+	return importPath == c.ml.modulePath ||
+		len(importPath) > len(c.ml.modulePath) && importPath[:len(c.ml.modulePath)+1] == c.ml.modulePath+"/"
+}
+
+func (c *cacheState) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// lookup returns the cached entry for the package, or nil on any miss.
+func (c *cacheState) lookup(path string) *cacheEntry {
+	key, err := c.key(path)
+	if err != nil {
+		return nil
+	}
+	b, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil
+	}
+	e := new(cacheEntry)
+	if json.Unmarshal(b, e) != nil || e.Package != path {
+		return nil
+	}
+	return e
+}
+
+// store persists an entry; failures are silent (caching is best-effort).
+func (c *cacheState) store(path string, e *cacheEntry) {
+	key, err := c.key(path)
+	if err != nil {
+		return
+	}
+	e.Version = lintVersion
+	e.Package = path
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if os.Rename(name, c.entryPath(key)) != nil {
+		os.Remove(name)
+	}
+}

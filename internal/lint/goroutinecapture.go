@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture inspects closures handed to goroutines — `go
+// func(){…}()` statements and errgroup-style `x.Go(func(){…})` calls —
+// for the capture bugs that turn a parallel sweep nondeterministic or
+// racy:
+//
+//   - loop-iteration sharing: the closure captures a variable that is
+//     declared outside the enclosing loop but reassigned on every
+//     iteration, so all goroutines observe whatever iteration ran last
+//     (Go ≥1.22 per-iteration loop variables are not flagged);
+//   - shared *rand.Rand: a captured or package-level *rand.Rand used
+//     inside the closure — *rand.Rand is not goroutine-safe, and even a
+//     locked one makes draw order depend on scheduling;
+//   - unsynchronized writes: the closure assigns to a captured local of
+//     the enclosing function with no mutex held at the write.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "unsafe variable capture in go-statement and errgroup-style closures",
+	Run:  runGoroutineCapture,
+}
+
+func runGoroutineCapture(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFuncGoroutines(p, fd)
+			}
+		}
+	}
+}
+
+func checkFuncGoroutines(p *Pass, fd *ast.FuncDecl) {
+	var loops []ast.Node
+	var launches []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, n)
+		case *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				launches = append(launches, lit)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Go" && len(n.Args) >= 1 {
+				if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+					launches = append(launches, lit)
+				}
+			}
+		}
+		return true
+	})
+	for _, lit := range launches {
+		checkLaunch(p, fd, lit, loops)
+	}
+}
+
+func checkLaunch(p *Pass, fd *ast.FuncDecl, lit *ast.FuncLit, loops []ast.Node) {
+	// Captured variables: identifiers used in the closure body whose
+	// object is declared outside the closure.
+	type capture struct {
+		obj   *types.Var
+		first *ast.Ident
+	}
+	var caps []capture
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || within(lit, v.Pos()) || seen[v] {
+			return true
+		}
+		seen[v] = true
+		caps = append(caps, capture{obj: v, first: id})
+		return true
+	})
+
+	for _, c := range caps {
+		if ts := types.TypeString(c.obj.Type(), nil); ts == "*math/rand.Rand" || ts == "*math/rand/v2.Rand" {
+			p.Report(c.first.Pos(), "goroutine shares *rand.Rand %q with its parent; *rand.Rand is not goroutine-safe — give each goroutine its own seeded source", c.obj.Name())
+		}
+		if !within(fd, c.obj.Pos()) {
+			continue // package-level, or from another function
+		}
+		for _, loop := range loops {
+			if within(loop, lit.Pos()) && !within(loop, c.obj.Pos()) && assignedInLoop(p, loop, c.obj) {
+				p.Report(c.first.Pos(), "goroutine captures %q, which is reassigned on every iteration of the enclosing loop; pass it as an argument or declare it inside the loop", c.obj.Name())
+				break
+			}
+		}
+	}
+
+	// Unsynchronized writes to captured locals of the enclosing
+	// function. A goroutine starts with no locks held; writes are fine
+	// only under a mutex acquired inside the closure.
+	reported := map[*types.Var]bool{}
+	w := &heldWalker{
+		info: p.Info,
+		onWrite: func(target ast.Expr, held map[string]bool) {
+			id, ok := ast.Unparen(target).(*ast.Ident)
+			if !ok {
+				return
+			}
+			v, ok := p.Info.Uses[id].(*types.Var)
+			if !ok || v.IsField() || within(lit, v.Pos()) || !within(fd, v.Pos()) {
+				return
+			}
+			if len(held) > 0 || reported[v] {
+				return
+			}
+			reported[v] = true
+			p.Report(id.Pos(), "goroutine writes captured variable %q without holding a lock; guard it with a mutex or use a channel", v.Name())
+		},
+	}
+	w.stmts(lit.Body.List, map[string]bool{})
+}
+
+// within reports whether pos falls inside n's source range.
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// assignedInLoop reports whether v is assigned somewhere in the loop
+// outside of function literals (synchronous reassignment per
+// iteration — the pattern that makes capture a bug).
+func assignedInLoop(p *Pass, loop ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				if usesVar(p, l, v) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if usesVar(p, s.X, v) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				if usesVar(p, s.Key, v) || usesVar(p, s.Value, v) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// Address-taken in the loop: treat as a per-iteration write path.
+			if s.Op == token.AND && usesVar(p, s.X, v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func usesVar(p *Pass, e ast.Expr, v *types.Var) bool {
+	if e == nil {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && p.Info.Uses[id] == v
+}

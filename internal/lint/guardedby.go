@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+)
+
+// GuardedBy enforces mutex contracts declared on struct fields: a field
+// annotated `// guarded by <mutex>` (doc or trailing comment) may only
+// be read or written while that mutex is held on the same base
+// expression — `m.count` guarded by `mu` requires `m.mu.Lock()` (or
+// RLock) before the access, with no intervening Unlock on the path.
+//
+// The path analysis is a source-order walk: Lock/RLock adds the
+// rendered receiver expression to the held set, Unlock/RUnlock removes
+// it, `defer x.Unlock()` keeps it held to the end of the function, and
+// branch bodies inherit a copy of the held set (lock-state changes
+// inside a branch do not leak past it). Function literals launched via
+// `go` start with an empty held set — a goroutine inherits no locks.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "struct field accessed without the mutex named in its `guarded by` contract",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(p *Pass) {
+	prog := p.Prog
+	if prog == nil || len(prog.guarded) == 0 {
+		return
+	}
+	w := &heldWalker{
+		info: p.Info,
+		onSel: func(sel *ast.SelectorExpr, held map[string]bool) {
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			mu := prog.guarded[v]
+			if mu == "" {
+				return
+			}
+			base := types.ExprString(sel.X)
+			if held[base+"."+mu] || held[mu] {
+				return
+			}
+			p.Report(sel.Sel.Pos(), "field %s is guarded by %q but accessed without holding %s.%s", v.Name(), mu, base, mu)
+		},
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.stmts(fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+}
+
+// heldWalker walks a function body in source order maintaining the set
+// of held mutexes (rendered receiver expressions like "m.mu"). Hooks
+// observe selector accesses and write targets together with the held
+// set at that point. Shared by guardedby and goroutinecapture.
+type heldWalker struct {
+	info *types.Info
+	// onSel is called for every selector expression visited.
+	onSel func(sel *ast.SelectorExpr, held map[string]bool)
+	// onWrite is called for the target of every assignment or ++/--.
+	onWrite func(target ast.Expr, held map[string]bool)
+}
+
+func (w *heldWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *heldWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, held)
+		}
+		for _, l := range s.Lhs {
+			w.write(l, held)
+			w.expr(l, held)
+		}
+	case *ast.IncDecStmt:
+		w.write(s.X, held)
+		w.expr(s.X, held)
+	case *ast.GoStmt:
+		// The goroutine body runs later and inherits no locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range s.Call.Args {
+				w.expr(a, held)
+			}
+			w.stmts(lit.Body.List, map[string]bool{})
+		} else {
+			w.expr(s.Call, held)
+		}
+	case *ast.DeferStmt:
+		// `defer x.Unlock()` keeps x held for the rest of the function;
+		// a deferred closure is approximated with the current held set.
+		if sel, name, ok := lockMethod(s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			w.expr(sel.X, held)
+			return
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range s.Call.Args {
+				w.expr(a, held)
+			}
+			w.stmts(lit.Body.List, maps.Clone(held))
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, maps.Clone(held))
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.stmts(e.List, maps.Clone(held))
+		case *ast.IfStmt:
+			w.stmt(e, maps.Clone(held))
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		inner := maps.Clone(held)
+		w.expr(s.Cond, inner)
+		w.stmts(s.Body.List, inner)
+		w.stmt(s.Post, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		inner := maps.Clone(held)
+		if s.Tok == token.ASSIGN {
+			w.write(s.Key, inner)
+			w.write(s.Value, inner)
+		}
+		w.stmts(s.Body.List, inner)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, held)
+				}
+				w.stmts(cc.Body, maps.Clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, maps.Clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := maps.Clone(held)
+				w.stmt(cc.Comm, inner)
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *heldWalker) write(e ast.Expr, held map[string]bool) {
+	if e == nil || w.onWrite == nil {
+		return
+	}
+	w.onWrite(e, held)
+}
+
+func (w *heldWalker) expr(e ast.Expr, held map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.SelectorExpr:
+		if w.onSel != nil {
+			w.onSel(e, held)
+		}
+		w.expr(e.X, held)
+	case *ast.CallExpr:
+		if sel, name, ok := lockMethod(e); ok {
+			w.expr(sel.X, held)
+			key := types.ExprString(sel.X)
+			switch name {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		w.expr(e.Fun, held)
+		for _, a := range e.Args {
+			w.expr(a, held)
+		}
+	case *ast.FuncLit:
+		// A non-deferred closure may run on any goroutine at any time;
+		// analyze it with no lock assumptions of its own.
+		w.stmts(e.Body.List, map[string]bool{})
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+	case *ast.UnaryExpr:
+		w.expr(e.X, held)
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+		w.expr(e.Low, held)
+		w.expr(e.High, held)
+		w.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, held)
+		w.expr(e.Value, held)
+	}
+}
+
+// lockMethod matches a no-argument x.Lock / x.RLock / x.Unlock /
+// x.RUnlock call, returning the selector and method name.
+func lockMethod(call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	if len(call.Args) != 0 {
+		return nil, "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel, sel.Sel.Name, true
+	}
+	return nil, "", false
+}

@@ -6,6 +6,14 @@
 // library code — so that regressions surface as tier-1 verify failures
 // instead of silently drifting golden digests.
 //
+// v2 adds a whole-program layer: packages are joined into a Program
+// carrying a static call graph, so the detaint analyzer can follow
+// nondeterminism across function and package boundaries, guardedby can
+// enforce mutex contracts declared on struct fields, and
+// goroutinecapture can inspect closures handed to goroutines. The
+// driver caches per-package results keyed by transitive content hashes
+// and analyzes packages in parallel (see driver.go).
+//
 // The pass is zero-dependency: package discovery shells out to
 // `go list -json`, parsing and type checking use go/parser and
 // go/types. Findings can be suppressed with an explicit annotation on
@@ -13,7 +21,8 @@
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// The reason is mandatory; a bare directive is itself reported.
+// The reason is mandatory; a bare directive is itself reported, and a
+// directive that suppresses nothing is reported by unusedignore.
 package lint
 
 import (
@@ -24,6 +33,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Finding is one analyzer report at a source position.
@@ -44,8 +54,20 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns the full raplint analyzer suite.
+// All returns the full raplint analyzer suite. UnusedIgnore is a
+// whole-run analyzer: its Run is a no-op per package and the driver
+// performs the global check after every package has reported.
 func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder, SeededRand, FloatEq, UnitMix, PanicPath,
+		Detaint, GuardedBy, GoroutineCapture, UnusedIgnore,
+	}
+}
+
+// V1 returns the first-generation, purely local analyzers — the suite
+// shipped by raplint v1. Kept for tests that demonstrate what the local
+// pass can and cannot see.
+func V1() []*Analyzer {
 	return []*Analyzer{MapOrder, SeededRand, FloatEq, UnitMix, PanicPath}
 }
 
@@ -57,16 +79,21 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Prog is the whole-program view (call graph, cross-package ignore
+	// indexes, guarded-field contracts) shared by every pass of a run.
+	Prog *Program
 
 	analyzer *Analyzer
-	ignores  ignoreIndex
+	ignores  *ignoreIndex
+	used     map[IgnoreRef]bool
 	out      *[]Finding
 }
 
 // Report records a finding at pos unless an ignore directive covers it.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.ignores.covers(p.analyzer.Name, position) {
+	if d := p.ignores.covering(p.analyzer.Name, position); d != nil {
+		p.use(d)
 		return
 	}
 	*p.out = append(*p.out, Finding{
@@ -76,32 +103,74 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// ignoreIndex maps file → line → analyzer names suppressed there.
-type ignoreIndex map[string]map[int][]string
-
-func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
-	lines := ix[pos.Filename]
-	if lines == nil {
-		return false
+// use marks a directive as having suppressed a finding, both globally
+// (for the unusedignore check) and in this package's used set (recorded
+// in the package's cache entry so warm runs replay the marking).
+func (p *Pass) use(d *ignoreDirective) {
+	d.used.Store(true)
+	if p.used != nil {
+		p.used[d.ref()] = true
 	}
-	// A directive suppresses findings on its own line (trailing comment)
-	// or on the line directly below it (directive on its own line).
+}
+
+// IgnoreRef identifies one //lint:ignore directive by position: the
+// stable form used in cache entries and the unusedignore check.
+type IgnoreRef struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+}
+
+// ignoreDirective is one well-formed //lint:ignore in a package.
+type ignoreDirective struct {
+	analyzer string
+	file     string
+	line     int
+	col      int
+	used     atomic.Bool
+}
+
+func (d *ignoreDirective) ref() IgnoreRef {
+	return IgnoreRef{File: d.file, Line: d.line, Col: d.col, Analyzer: d.analyzer}
+}
+
+// ignoreIndex holds a package's //lint:ignore directives plus the
+// findings produced for malformed ones (missing mandatory reason).
+type ignoreIndex struct {
+	lines map[string]map[int][]*ignoreDirective // file -> line -> directives
+	all   []*ignoreDirective
+	bad   []Finding // missing-reason findings, emitted once per analyzed package
+}
+
+// covering returns the directive suppressing a finding of analyzer at
+// pos, or nil. A directive covers its own line (trailing comment) and
+// the line directly below it (directive on its own line).
+func (ix *ignoreIndex) covering(analyzer string, pos token.Position) *ignoreDirective {
+	if ix == nil {
+		return nil
+	}
+	lines := ix.lines[pos.Filename]
+	if lines == nil {
+		return nil
+	}
 	for _, l := range [2]int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
-			if name == analyzer {
-				return true
+		for _, d := range lines[l] {
+			if d.analyzer == analyzer {
+				return d
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(\s+\S.*)?$`)
 
 // buildIgnores scans a package's comments for //lint:ignore directives.
-// Directives missing the mandatory reason are reported as findings.
-func buildIgnores(fset *token.FileSet, files []*ast.File, out *[]Finding) ignoreIndex {
-	ix := ignoreIndex{}
+// Directives missing the mandatory reason become findings (emitted when
+// the package is analyzed); well-formed ones enter the index.
+func buildIgnores(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ix := &ignoreIndex{lines: map[string]map[int][]*ignoreDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -111,19 +180,21 @@ func buildIgnores(fset *token.FileSet, files []*ast.File, out *[]Finding) ignore
 				}
 				pos := fset.Position(c.Pos())
 				if strings.TrimSpace(m[2]) == "" {
-					*out = append(*out, Finding{
+					ix.bad = append(ix.bad, Finding{
 						Analyzer: "lint",
 						Pos:      pos,
 						Message:  fmt.Sprintf("//lint:ignore %s is missing its mandatory reason", m[1]),
 					})
 					continue
 				}
-				lines := ix[pos.Filename]
+				d := &ignoreDirective{analyzer: m[1], file: pos.Filename, line: pos.Line, col: pos.Column}
+				lines := ix.lines[pos.Filename]
 				if lines == nil {
-					lines = map[int][]string{}
-					ix[pos.Filename] = lines
+					lines = map[int][]*ignoreDirective{}
+					ix.lines[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], m[1])
+				lines[pos.Line] = append(lines[pos.Line], d)
+				ix.all = append(ix.all, d)
 			}
 		}
 	}
@@ -131,9 +202,24 @@ func buildIgnores(fset *token.FileSet, files []*ast.File, out *[]Finding) ignore
 }
 
 // RunPackage applies every analyzer to one loaded package, appending
-// findings to out.
+// findings to out. The package is analyzed standalone (a single-package
+// Program), so interprocedural analyzers see only its own functions.
 func RunPackage(pkg *Package, analyzers []*Analyzer, out *[]Finding) {
-	ignores := buildIgnores(pkg.Fset, pkg.Files, out)
+	NewProgram([]*Package{pkg}).RunPackage(pkg, analyzers, out)
+}
+
+// RunPackage applies the analyzers to one package of the program,
+// appending findings to out and returning the ignore directives the
+// package's analysis used (anywhere in the program — detaint can
+// consume directives in the packages it traverses).
+func (prog *Program) RunPackage(pkg *Package, analyzers []*Analyzer, out *[]Finding) []IgnoreRef {
+	return prog.runPackage(pkg, analyzers, out, nil)
+}
+
+func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer, out *[]Finding, timings *analyzerTimings) []IgnoreRef {
+	ignores := prog.ignores[pkg.Path]
+	*out = append(*out, ignores.bad...)
+	used := map[IgnoreRef]bool{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Path:     pkg.Path,
@@ -141,27 +227,44 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, out *[]Finding) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			analyzer: a,
 			ignores:  ignores,
+			used:     used,
 			out:      out,
 		}
+		stop := timings.start()
 		a.Run(pass)
+		timings.stop(a.Name, stop)
 	}
+	refs := make([]IgnoreRef, 0, len(used))
+	for r := range used {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return refs
 }
 
 // Run loads the packages matching patterns (relative to dir) and applies
-// the analyzers, returning findings sorted by position.
+// the analyzers, returning findings sorted by position. Caching is
+// disabled: Run always type-checks and analyzes from source.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
-	pkgs, err := Load(dir, patterns...)
-	if err != nil {
-		return nil, err
-	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		RunPackage(pkg, analyzers, &out)
-	}
-	SortFindings(out)
-	return out, nil
+	findings, _, err := RunWithOptions(Options{
+		Dir:       dir,
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		NoCache:   true,
+	})
+	return findings, err
 }
 
 // SortFindings orders findings by file, line, column, analyzer, message

@@ -55,17 +55,26 @@ func loadFixture(t *testing.T, dir, importPath string) (*Package, []expectation)
 			}
 		}
 	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
 	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	tpkg, err := cfg.Check(importPath, fset, files, info)
+	tpkg, info, err := checkFiles(cfg, importPath, fset, files)
 	if err != nil {
 		t.Fatalf("type-checking fixture: %v", err)
 	}
 	return &Package{Path: importPath, Name: tpkg.Name(), Fset: fset, Files: files, Types: tpkg, Info: info}, wants
+}
+
+// checkFiles type-checks files with the full Info the analyzers rely on
+// (guardedby needs Selections).
+func checkFiles(cfg types.Config, importPath string, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, err := cfg.Check(importPath, fset, files, info)
+	return tpkg, info, err
 }
 
 // TestAnalyzers runs each analyzer over its fixtures: every `// want`
@@ -87,6 +96,9 @@ func TestAnalyzers(t *testing.T) {
 		{"unitmix", UnitMix, "unitmix", "rap/internal/unitfix"},
 		{"panicpath internal", PanicPath, "panicpath_internal", "rap/internal/panicfix"},
 		{"panicpath out of scope", PanicPath, "panicpath_cmd", "rap/cmd/panicfix"},
+		{"detaint annotated root", Detaint, "detaint_anno", "rap/cmd/clocktool"},
+		{"guardedby", GuardedBy, "guardedby", "rap/internal/guardfix"},
+		{"goroutinecapture", GoroutineCapture, "goroutinecapture", "rap/internal/gofix"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,50 +106,58 @@ func TestAnalyzers(t *testing.T) {
 			var findings []Finding
 			RunPackage(pkg, []*Analyzer{tc.analyzer}, &findings)
 			SortFindings(findings)
-
-			matched := make([]bool, len(wants))
-			for _, f := range findings {
-				ok := false
-				for i, w := range wants {
-					if !matched[i] && w.file == f.Pos.Filename && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
-						matched[i] = true
-						ok = true
-						break
-					}
-				}
-				if !ok {
-					t.Errorf("unexpected finding: %v", f)
-				}
-			}
-			for i, w := range wants {
-				if !matched[i] {
-					t.Errorf("missing finding at %s:%d containing %q", w.file, w.line, w.substr)
-				}
-			}
+			matchWants(t, findings, wants)
 		})
 	}
 }
 
-// checkSource type-checks an inline dependency-free source string and
-// runs the analyzers over it.
-func checkSource(t *testing.T, importPath, src string, analyzers []*Analyzer) []Finding {
+// matchWants asserts that findings and `// want` expectations agree
+// exactly: each want line matched by one finding, nothing extra.
+func matchWants(t *testing.T, findings []Finding, wants []expectation) {
+	t.Helper()
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == f.Pos.Filename && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing finding at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// inlinePackage type-checks an inline dependency-free source string
+// into a loaded Package.
+func inlinePackage(t *testing.T, importPath, src string) *Package {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "inline.go", src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("parsing inline source: %v", err)
 	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
-	var cfg types.Config
-	tpkg, err := cfg.Check(importPath, fset, []*ast.File{f}, info)
+	cfg := types.Config{Importer: importer.Default()}
+	tpkg, info, err := checkFiles(cfg, importPath, fset, []*ast.File{f})
 	if err != nil {
 		t.Fatalf("type-checking inline source: %v", err)
 	}
-	pkg := &Package{Path: importPath, Name: tpkg.Name(), Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return &Package{Path: importPath, Name: tpkg.Name(), Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// checkSource type-checks an inline dependency-free source string and
+// runs the analyzers over it.
+func checkSource(t *testing.T, importPath, src string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	pkg := inlinePackage(t, importPath, src)
 	var findings []Finding
 	RunPackage(pkg, analyzers, &findings)
 	SortFindings(findings)

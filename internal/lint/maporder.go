@@ -48,7 +48,7 @@ func runMapOrder(p *Pass) {
 				return true
 			}
 			key := identName(rs.Key)
-			if stmtsOrderInsensitive(p, rs.Body.List, key) {
+			if stmtsOrderInsensitive(p.Info, rs.Body.List, key) {
 				return true
 			}
 			p.Report(rs.For, "map iteration order can leak into simulation results; iterate sorted keys, or keep the body to key collection / per-key writes / integer reductions")
@@ -57,9 +57,9 @@ func runMapOrder(p *Pass) {
 	}
 }
 
-func stmtsOrderInsensitive(p *Pass, stmts []ast.Stmt, key string) bool {
+func stmtsOrderInsensitive(info *types.Info, stmts []ast.Stmt, key string) bool {
 	for _, s := range stmts {
-		if !stmtOrderInsensitive(p, s, key) {
+		if !stmtOrderInsensitive(info, s, key) {
 			return false
 		}
 	}
@@ -68,31 +68,31 @@ func stmtsOrderInsensitive(p *Pass, stmts []ast.Stmt, key string) bool {
 
 // stmtOrderInsensitive reports whether executing s once per map entry
 // yields the same program state regardless of entry order.
-func stmtOrderInsensitive(p *Pass, s ast.Stmt, key string) bool {
+func stmtOrderInsensitive(info *types.Info, s ast.Stmt, key string) bool {
 	switch s := s.(type) {
 	case *ast.IncDecStmt:
 		// n++ / n-- applies the identical delta every iteration.
 		return true
 	case *ast.AssignStmt:
-		return assignOrderInsensitive(p, s, key)
+		return assignOrderInsensitive(info, s, key)
 	case *ast.IfStmt:
-		if s.Init != nil && !stmtOrderInsensitive(p, s.Init, key) {
+		if s.Init != nil && !stmtOrderInsensitive(info, s.Init, key) {
 			return false
 		}
-		if !exprPure(s.Cond) || !stmtsOrderInsensitive(p, s.Body.List, key) {
+		if !exprPure(s.Cond) || !stmtsOrderInsensitive(info, s.Body.List, key) {
 			return false
 		}
 		switch e := s.Else.(type) {
 		case nil:
 			return true
 		case *ast.BlockStmt:
-			return stmtsOrderInsensitive(p, e.List, key)
+			return stmtsOrderInsensitive(info, e.List, key)
 		case *ast.IfStmt:
-			return stmtOrderInsensitive(p, e, key)
+			return stmtOrderInsensitive(info, e, key)
 		}
 		return false
 	case *ast.BlockStmt:
-		return stmtsOrderInsensitive(p, s.List, key)
+		return stmtsOrderInsensitive(info, s.List, key)
 	case *ast.BranchStmt:
 		// `continue` skips an entry the same way in any order; `break`
 		// and labeled jumps make the outcome depend on what came first.
@@ -109,7 +109,7 @@ func stmtOrderInsensitive(p *Pass, s ast.Stmt, key string) bool {
 	return false
 }
 
-func assignOrderInsensitive(p *Pass, s *ast.AssignStmt, key string) bool {
+func assignOrderInsensitive(info *types.Info, s *ast.AssignStmt, key string) bool {
 	switch s.Tok {
 	case token.DEFINE:
 		// Fresh locals live for one iteration only; safe when the RHS is
@@ -126,7 +126,7 @@ func assignOrderInsensitive(p *Pass, s *ast.AssignStmt, key string) bool {
 		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !exprPure(s.Rhs[0]) {
 			return false
 		}
-		t := p.Info.TypeOf(s.Lhs[0])
+		t := info.TypeOf(s.Lhs[0])
 		if t == nil {
 			return false
 		}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"runtime"
+)
+
+// relPath renders a finding path relative to the module root so
+// reports are stable across checkouts.
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(abs, path)
+	if err != nil || len(rel) >= 2 && rel[:2] == ".." {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}
+
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+type jsonStats struct {
+	Packages   int              `json:"packages"`
+	CacheHits  int              `json:"cacheHits"`
+	LoadMs     float64          `json:"loadMs"`
+	AnalyzeMs  float64          `json:"analyzeMs"`
+	TotalMs    float64          `json:"totalMs"`
+	AnalyzerMs map[string]float64 `json:"analyzerMs,omitempty"`
+}
+
+type jsonReport struct {
+	RaplintVersion string        `json:"raplintVersion"`
+	GoVersion      string        `json:"goVersion"`
+	Findings       []jsonFinding `json:"findings"`
+	Stats          *jsonStats    `json:"stats,omitempty"`
+}
+
+// WriteJSONReport encodes findings (and, when non-nil, run stats) as
+// the machine-readable lint-report artifact consumed by CI. Paths are
+// relative to root.
+func WriteJSONReport(w io.Writer, root string, findings []Finding, stats *Stats) error {
+	rep := jsonReport{
+		RaplintVersion: lintVersion,
+		GoVersion:      runtime.Version(),
+		Findings:       make([]jsonFinding, 0, len(findings)),
+	}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	if stats != nil {
+		js := &jsonStats{
+			Packages:   stats.Packages,
+			CacheHits:  stats.CacheHits,
+			LoadMs:     float64(stats.Load.Microseconds()) / 1e3,
+			AnalyzeMs:  float64(stats.Analyze.Microseconds()) / 1e3,
+			TotalMs:    float64(stats.Total.Microseconds()) / 1e3,
+			AnalyzerMs: map[string]float64{},
+		}
+		for name, d := range stats.PerAnalyzer {
+			js.AnalyzerMs[name] = float64(d.Microseconds()) / 1e3
+		}
+		rep.Stats = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 skeleton — the subset CI annotation surfaces consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes findings as a SARIF 2.1.0 log, the interchange
+// format code-scanning UIs ingest. Paths are relative to root.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, findings []Finding) error {
+	drv := sarifDriver{Name: "raplint", Version: lintVersion}
+	for _, a := range analyzers {
+		drv.Rules = append(drv.Rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: drv}, Results: []sarifResult{}}
+	for _, f := range findings {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,18 @@
+// Package clocktool is a fixture: outside both the deterministic
+// package set and internal/ paths, so neither maporder nor seededrand
+// polices it — detaint roots exist here only via //rap:deterministic.
+package clocktool
+
+import "time"
+
+// Span is declared deterministic but reaches the wall clock through an
+// unexported helper.
+//
+//rap:deterministic
+func Span() int64 {
+	return stamp()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "clocktool.Span must be deterministic but reaches the wall clock"
+}

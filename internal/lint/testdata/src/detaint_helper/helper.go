@@ -1,0 +1,15 @@
+// Package helperfix is a fixture: a utility package outside the
+// deterministic package set, so maporder's per-package scope does not
+// police it. Its map iteration leaks order dependence to every caller —
+// only the interprocedural detaint analyzer can connect it to a
+// deterministic entry point in another package.
+package helperfix
+
+// Tally flattens m's values in map-iteration order.
+func Tally(m map[string]int) []int {
+	var counts []int
+	for _, v := range m { // want "sched.Plan must be deterministic but reaches order-dependent map iteration"
+		counts = append(counts, v)
+	}
+	return counts
+}

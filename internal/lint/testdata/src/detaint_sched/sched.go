@@ -1,0 +1,17 @@
+// Package sched is a fixture root package: its deterministic package
+// name makes every exported function a detaint root, no annotation
+// needed. The package itself is spotless under the v1 local analyzers —
+// the leak lives two calls away in rap/internal/helperfix.
+package sched
+
+import "rap/internal/helperfix"
+
+// Plan orders work by key, delegating the flattening to a helper
+// package the local maporder analyzer provably cannot see into.
+func Plan(work map[string]int) []int {
+	return expand(work)
+}
+
+func expand(work map[string]int) []int {
+	return helperfix.Tally(work)
+}

@@ -1,0 +1,68 @@
+// Package gofix is a fixture for the goroutinecapture analyzer:
+// loop-iteration sharing, shared *rand.Rand sources, and
+// unsynchronized writes to captured locals in goroutine closures.
+package gofix
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// group mimics the errgroup shape: a Go method taking a closure.
+type group struct{}
+
+func (g *group) Go(f func()) { f() }
+
+func sink(int) {}
+
+// loopShare is the pre-Go-1.22 pattern: j is declared outside the loop
+// and reassigned on every iteration, so all goroutines see the last one.
+func loopShare() {
+	var j int
+	for i := 0; i < 4; i++ {
+		j = i
+		go func() {
+			sink(j) // want "reassigned on every iteration of the enclosing loop"
+		}()
+	}
+}
+
+// perIteration captures a Go 1.22 per-iteration loop variable: fine.
+func perIteration() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			sink(i)
+		}()
+	}
+}
+
+func sharedRand() {
+	rng := rand.New(rand.NewSource(1))
+	var g group
+	g.Go(func() {
+		sink(rng.Intn(10)) // want "not goroutine-safe"
+	})
+}
+
+func unsyncWrite() int {
+	total := 0
+	go func() {
+		total = 1 // want "without holding a lock"
+	}()
+	return total
+}
+
+// lockedWrite guards the captured local with a mutex acquired inside
+// the closure: fine.
+func lockedWrite() int {
+	var mu sync.Mutex
+	total := 0
+	go func() {
+		mu.Lock()
+		total = 1
+		mu.Unlock()
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	return total
+}

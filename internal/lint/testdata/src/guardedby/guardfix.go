@@ -1,0 +1,49 @@
+// Package guardfix is a fixture for the guardedby analyzer: the n
+// field's `guarded by` contract must hold at every access.
+package guardfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) bad() int {
+	return c.n // want "accessed without holding c.mu"
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "accessed without holding c.mu"
+}
+
+func (c *counter) badBranchLeak(flip bool) int {
+	if flip {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+	return c.n // want "accessed without holding c.mu"
+}
+
+func (c *counter) badGoroutine() {
+	c.mu.Lock()
+	go func() {
+		c.n++ // want "accessed without holding c.mu"
+	}()
+	c.mu.Unlock()
+}

@@ -122,6 +122,8 @@ func sparseOutBytes(samples int, avgListLen float64) float64 {
 // DataParallel maps by batch: every GPU preprocesses its own 1/N sample
 // slice of every graph, then ships each table's ids to the table's
 // owner. Minimal imbalance, maximal input communication.
+//
+//rap:deterministic
 func DataParallel(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -205,6 +207,8 @@ func assignLocality(cfg Config) ([][]Assign, []float64) {
 
 // DataLocality maps by data dependency: zero (or minimal) input
 // communication, but workload balance follows table placement.
+//
+//rap:deterministic
 func DataLocality(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -242,6 +246,8 @@ func commOf(items []Assign, gpu int, cfg Config) float64 {
 // A move transfers either a whole sparse graph or, when whole graphs are
 // too coarse, half of an assignment's sample range. Iterates to a
 // fixpoint.
+//
+//rap:deterministic
 func RAPSearch(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err

@@ -144,6 +144,8 @@ func asapLevels(deps [][]int, order []int) []int {
 // GreedyLevels returns the warm-start solution: every op at its ASAP
 // level. Ops of one type sharing a level are incomparable (a dependency
 // path strictly increases the level), so this is always feasible.
+//
+//rap:deterministic
 func GreedyLevels(p Problem) (Solution, error) {
 	if err := checkShape(p); err != nil {
 		return Solution{}, err
@@ -164,6 +166,8 @@ func checkShape(p Problem) error {
 }
 
 // Solve runs the branch & bound.
+//
+//rap:deterministic
 func Solve(p Problem) (Solution, error) {
 	if err := checkShape(p); err != nil {
 		return Solution{}, err

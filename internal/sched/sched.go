@@ -94,6 +94,8 @@ func (s *Schedule) AllKernels() []preproc.KernelSpec {
 // GPU and the profiled stage capacities and greedily assigns kernels to
 // training stages, sharding a kernel when the remaining capacity of the
 // current stage cannot hold it whole.
+//
+//rap:deterministic
 func CoRunSchedule(plan *fusion.Plan, cm *costmodel.CostModel, opts Options) (*Schedule, error) {
 	if plan == nil || cm == nil {
 		return nil, fmt.Errorf("sched: nil plan or cost model")
@@ -236,6 +238,8 @@ func CoRunSchedule(plan *fusion.Plan, cm *costmodel.CostModel, opts Options) (*S
 // SequentialSchedule places every kernel into the first stage's slot
 // without capacity awareness — the handcrafted-baseline behaviour
 // (stream/MPS: launch everything immediately, §8.2).
+//
+//rap:deterministic
 func SequentialSchedule(kernels []preproc.KernelSpec, numStages int) *Schedule {
 	s := &Schedule{PerStage: make([][]preproc.KernelSpec, numStages)}
 	if numStages == 0 {

@@ -13,7 +13,7 @@ go vet ./...
 echo "== go build"
 go build ./...
 echo "== raplint"
-go run ./cmd/raplint ./...
+go run ./cmd/raplint -timing -json lint-report.json ./...
 echo "== go test -race"
 go test -race ./...
 echo "verify: OK"
