@@ -9,18 +9,22 @@
 //	rapbench -list                   # list experiment ids
 //	rapbench -engine-bench           # time the gpusim engine, write BENCH_engine.json
 //	rapbench -chaos                  # perturbation-severity sweep, write BENCH_chaos.json
+//	rapbench -planner-bench          # time the online planner, write BENCH_planner.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
 	"rap/internal/experiments"
 	"rap/internal/gpusim"
+	"rap/internal/milp"
+	"rap/internal/rap"
 )
 
 type renderer interface{ Render() string }
@@ -37,11 +41,21 @@ func main() {
 	chaosPlan := flag.Int("chaos-plan", 1, "preprocessing plan for -chaos (0-3)")
 	chaosGPUs := flag.Int("chaos-gpus", 4, "cluster size for -chaos")
 	chaosTrace := flag.String("chaos-trace", "", "optional Chrome trace path: RAP at top severity with perturbation spans")
+	plannerBench := flag.Bool("planner-bench", false, "benchmark the online planner and exit")
+	plannerOut := flag.String("planner-out", "BENCH_planner.json", "output path for -planner-bench results")
 	flag.Parse()
 
 	if *engineBench {
 		if err := runEngineBench(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "rapbench: engine-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *plannerBench {
+		if err := runPlannerBench(*plannerOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: planner-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -238,5 +252,232 @@ func runEngineBench(path string) error {
 	}
 	fmt.Printf("engine-bench: %s/op (best %s) over %d runs -> %s\n",
 		time.Duration(report.NsPerOp), best, timedRuns, path)
+	return nil
+}
+
+// plannerBenchReport is the BENCH_planner.json schema: the planning-
+// latency trajectory tracked across commits, the engine-bench way.
+type plannerBenchReport struct {
+	Name  string `json:"name"`
+	GPUs  int    `json:"gpus"`
+	Plan  int    `json:"plan"`
+	Batch int    `json:"batch"`
+	Runs  int    `json:"runs"`
+
+	// BuildPlan latency: the sequential baseline disables every fast-
+	// path layer (the pre-fast-path planner); cold runs start with
+	// empty memo caches; warm runs are full rebuilds (plan cache off)
+	// that reuse the probe and fusion-solve memos — the steady state of
+	// the replanning loop this fast path exists for; plan-cache hits
+	// answer an identical request outright. BuildSpeedup is the
+	// replanning-loop rebuild (warm) over the pre-fast-path baseline.
+	SequentialBuildNs int64   `json:"sequential_build_ns"`
+	FastColdBuildNs   int64   `json:"fast_cold_build_ns"`
+	FastWarmBuildNs   int64   `json:"fast_warm_build_ns"`
+	PlanCacheHitNs    int64   `json:"plan_cache_hit_ns"`
+	BuildSpeedup      float64 `json:"build_speedup"` // sequential / fast warm
+
+	// Probe memoization inside one cold 8-GPU build, and fusion-solve
+	// memoization across the warm rebuilds.
+	ProbeHits    int `json:"probe_hits"`
+	ProbeMisses  int `json:"probe_misses"`
+	ProbesSaved  int `json:"probes_saved"`
+	FusionHits   int `json:"fusion_hits"`
+	FusionSolves int `json:"fusion_solves"`
+
+	// MILP branch & bound, sequential vs parallel fan-out, summed over
+	// the instance set.
+	SolverInstances    int     `json:"solver_instances"`
+	SolverSequentialNs int64   `json:"solver_sequential_ns"`
+	SolverParallelNs   int64   `json:"solver_parallel_ns"`
+	SolverSpeedup      float64 `json:"solver_speedup"`
+
+	Executed string `json:"executed"`
+}
+
+// plannerBenchDAG builds one random fusion DAG for the solver leg,
+// sized so the branch & bound does real work but completes.
+func plannerBenchDAG(seed int64, n int) milp.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	types := make([]int, n)
+	deps := make([][]int, n)
+	for i := 0; i < n; i++ {
+		types[i] = rng.Intn(4)
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.15 {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	return milp.Problem{Types: types, Deps: deps}
+}
+
+// runPlannerBench times the online pass end to end (BuildPlan on an
+// 8-GPU workload, sequential baseline vs fast path) plus the MILP
+// solver in isolation, writes the JSON report, and re-reads it as a
+// self-check.
+func runPlannerBench(path string, quick bool) error {
+	gpus, runs, solverN, solverSeeds := 8, 5, 26, 6
+	if quick {
+		gpus, runs, solverN, solverSeeds = 2, 2, 20, 2
+	}
+	const planIdx, batch = 2, 4096
+
+	w, err := rap.NewWorkload(rap.Kaggle, planIdx, batch, 1)
+	if err != nil {
+		return err
+	}
+	cluster := gpusim.ClusterConfig{NumGPUs: gpus}
+	sequentialPlanner := rap.PlannerOptions{
+		SequentialProbes:   true,
+		DisableProbeMemo:   true,
+		SequentialSolve:    true,
+		SequentialLowering: true,
+		DisableFusionMemo:  true,
+		DisablePlanCache:   true,
+	}
+	build := func(f *rap.Framework) (time.Duration, error) {
+		start := time.Now()
+		_, err := f.BuildPlan(rap.BuildOptions{})
+		return time.Since(start), err
+	}
+
+	report := plannerBenchReport{
+		Name:  "BenchmarkPlanner",
+		GPUs:  gpus,
+		Plan:  planIdx,
+		Batch: batch,
+		Runs:  runs,
+	}
+
+	// Sequential baseline: a fresh framework per run, every fast-path
+	// layer disabled.
+	var seqTotal time.Duration
+	for i := 0; i < runs; i++ {
+		f := rap.New(w, cluster)
+		f.Planner = sequentialPlanner
+		d, err := build(f)
+		if err != nil {
+			return err
+		}
+		seqTotal += d
+	}
+	report.SequentialBuildNs = seqTotal.Nanoseconds() / int64(runs)
+
+	// Fast path, cold: a fresh framework (empty probe cache) per run.
+	var coldTotal time.Duration
+	for i := 0; i < runs; i++ {
+		f := rap.New(w, cluster)
+		f.Planner.DisablePlanCache = true
+		d, err := build(f)
+		if err != nil {
+			return err
+		}
+		coldTotal += d
+		if i == 0 {
+			report.ProbeHits, report.ProbeMisses = f.ProbeCacheStats()
+			report.ProbesSaved = report.ProbeHits
+		}
+	}
+	report.FastColdBuildNs = coldTotal.Nanoseconds() / int64(runs)
+
+	// Fast path, warm: one framework, probe and fusion-solve memos
+	// carried across runs, plan cache off so every run is a genuine
+	// rebuild — the replanning loop's steady state.
+	warmF := rap.New(w, cluster)
+	warmF.Planner.DisablePlanCache = true
+	if _, err := build(warmF); err != nil {
+		return err
+	}
+	var warmTotal time.Duration
+	for i := 0; i < runs; i++ {
+		d, err := build(warmF)
+		if err != nil {
+			return err
+		}
+		warmTotal += d
+	}
+	report.FastWarmBuildNs = warmTotal.Nanoseconds() / int64(runs)
+	fusionHits, fusionMisses := warmF.FusionCacheStats()
+	report.FusionHits, report.FusionSolves = fusionHits, fusionMisses
+
+	// Plan-cache hit: identical request answered from cache.
+	warmF.Planner.DisablePlanCache = false
+	if _, err := build(warmF); err != nil { // populate
+		return err
+	}
+	var hitTotal time.Duration
+	for i := 0; i < runs; i++ {
+		d, err := build(warmF)
+		if err != nil {
+			return err
+		}
+		hitTotal += d
+	}
+	report.PlanCacheHitNs = hitTotal.Nanoseconds() / int64(runs)
+	if report.FastWarmBuildNs > 0 {
+		report.BuildSpeedup = float64(report.SequentialBuildNs) / float64(report.FastWarmBuildNs)
+	}
+
+	// Solver leg: identical instances through the sequential and the
+	// parallel search (results are bit-identical; only time differs).
+	report.SolverInstances = solverSeeds
+	for seed := int64(0); seed < int64(solverSeeds); seed++ {
+		p := plannerBenchDAG(seed, solverN)
+		p.Workers = 1
+		start := time.Now()
+		seqSol, err := milp.SolveSequential(p)
+		if err != nil {
+			return err
+		}
+		report.SolverSequentialNs += time.Since(start).Nanoseconds()
+		p.Workers = 0
+		start = time.Now()
+		parSol, err := milp.Solve(p)
+		if err != nil {
+			return err
+		}
+		report.SolverParallelNs += time.Since(start).Nanoseconds()
+		if seqSol.Objective != parSol.Objective {
+			return fmt.Errorf("solver mismatch on seed %d: %d vs %d", seed, seqSol.Objective, parSol.Objective)
+		}
+	}
+	if report.SolverParallelNs > 0 {
+		report.SolverSpeedup = float64(report.SolverSequentialNs) / float64(report.SolverParallelNs)
+	}
+	report.Executed = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+
+	// Self-check: the written report must parse and carry the fields
+	// the acceptance gate reads.
+	back, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var check plannerBenchReport
+	if err := json.Unmarshal(back, &check); err != nil {
+		return fmt.Errorf("re-reading %s: %w", path, err)
+	}
+	if check.SequentialBuildNs <= 0 || check.FastColdBuildNs <= 0 || check.SolverSpeedup <= 0 {
+		return fmt.Errorf("re-reading %s: incomplete report", path)
+	}
+
+	fmt.Printf("planner-bench: %d-GPU BuildPlan %s sequential -> %s cold / %s warm / %s cached (%.2fx), probes saved %d/%d, solver %.2fx -> %s\n",
+		gpus,
+		time.Duration(report.SequentialBuildNs),
+		time.Duration(report.FastColdBuildNs),
+		time.Duration(report.FastWarmBuildNs),
+		time.Duration(report.PlanCacheHitNs),
+		report.BuildSpeedup,
+		report.ProbesSaved, report.ProbeHits+report.ProbeMisses,
+		report.SolverSpeedup, path)
 	return nil
 }

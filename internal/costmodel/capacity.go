@@ -41,6 +41,20 @@ const SafetyFactor = 0.9
 // profiling step, replacing hardware measurement). Communication stages
 // leave the whole GPU idle, so their capacity is their duration.
 func EstimateCapacities(cfg dlrm.Config, pl dlrm.Placement, gpu int, cluster gpusim.ClusterConfig) ([]StageCapacity, error) {
+	return EstimateCapacitiesCached(cfg, pl, gpu, cluster, nil)
+}
+
+// EstimateCapacitiesCached is EstimateCapacities with probe memoization:
+// stages whose (kernel, leftover, cluster) content hash is already in
+// the cache skip the binary-search simulation sweep entirely.
+// Homogeneous GPUs share most stage profiles, so a cache shared across
+// the per-GPU calls of one plan collapses the sweep to roughly one
+// GPU's worth of probes. A nil cache disables memoization. The cache is
+// safe for concurrent use and never changes results — only whether they
+// are recomputed.
+//
+//rap:deterministic
+func EstimateCapacitiesCached(cfg dlrm.Config, pl dlrm.Placement, gpu int, cluster gpusim.ClusterConfig, cache *ProbeCache) ([]StageCapacity, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,16 +81,34 @@ func EstimateCapacities(cfg dlrm.Config, pl dlrm.Placement, gpu int, cluster gpu
 			SM:    math.Max(0, 1-st.Kernel.Demand.SM),
 			MemBW: math.Max(0, 1-st.Kernel.Demand.MemBW),
 		}
-		sc.Capacity = SafetyFactor * probeCapacity(st.Kernel, sc.Leftover, cluster)
+		if cache != nil {
+			key := probeKey(st.Kernel, sc.Leftover, cluster)
+			if cap, ok := cache.lookup(key); ok {
+				sc.Capacity = cap
+			} else {
+				sc.Capacity = SafetyFactor * probeCapacity(st.Kernel, sc.Leftover, cluster)
+				cache.store(key, sc.Capacity)
+			}
+		} else {
+			sc.Capacity = SafetyFactor * probeCapacity(st.Kernel, sc.Leftover, cluster)
+		}
 		out[i] = sc
 	}
 	return out, nil
 }
 
-// probeCapacity binary-searches the largest probe work (µs of standalone
+// maxCapacityGrowth bounds the geometric bracket growth of the capacity
+// search: a probe is never credited with more than this multiple of the
+// stage's solo latency. It exists to terminate the search against
+// pathological fit predicates, not to clip realistic measurements —
+// under the FairShare engine a hidden probe cannot exceed the stage's
+// own span by much (speed never exceeds 1).
+const maxCapacityGrowth = 64
+
+// probeCapacity searches for the largest probe work (µs of standalone
 // preprocessing latency) that co-runs with the stage kernel while (a)
 // the stage stretches by at most Tolerance and (b) the probe finishes
-// before the stage does (fully hidden).
+// no later than the stage (fully hidden: pRes.End <= stRes.End).
 func probeCapacity(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.ClusterConfig) float64 {
 	solo := stage.SoloLatency()
 	probeDemand := gpusim.Demand{SM: leftover.SM * 0.95, MemBW: leftover.MemBW * 0.95}
@@ -96,11 +128,32 @@ func probeCapacity(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.C
 			return false
 		}
 		stRes, pRes := res.OpByID(s), res.OpByID(p)
-		return stRes.Latency() <= solo*(1+Tolerance) && pRes.End <= stRes.End+solo*Tolerance
+		return stRes.Latency() <= solo*(1+Tolerance) && pRes.End <= stRes.End
+	}
+	return searchCapacity(fits, solo)
+}
+
+// searchCapacity binary-searches the largest work accepted by fits,
+// bracketing from above by geometric growth: the upper bound starts at
+// 1.5× solo and doubles while fits still holds (up to maxCapacityGrowth
+// × solo), so a high-headroom stage whose true capacity exceeds the
+// initial bracket is measured instead of silently clipped. fits must be
+// monotone (fits(w) implies fits(w') for all w' < w); the result is
+// within solo/100 of the true threshold.
+func searchCapacity(fits func(work float64) bool, solo float64) float64 {
+	if !fits(1e-6) {
+		return 0
 	}
 	lo, hi := 0.0, solo*1.5
-	if !fits(lo + 1e-6) {
-		return 0
+	for fits(hi) {
+		lo = hi
+		if hi >= solo*maxCapacityGrowth {
+			return hi
+		}
+		hi *= 2
+		if hi > solo*maxCapacityGrowth {
+			hi = solo * maxCapacityGrowth
+		}
 	}
 	for hi-lo > solo*0.01 {
 		mid := (lo + hi) / 2

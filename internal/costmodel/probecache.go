@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"rap/internal/gpusim"
+)
+
+// ProbeCache memoizes capacity-probe results across EstimateCapacities
+// calls. Homogeneous GPUs run near-identical stage lineups, so the
+// per-GPU profiling sweep of one plan mostly re-probes kernels another
+// GPU already measured; sharing one cache across those calls (and
+// across plans in a replanning loop) collapses the sweep. Keys are deep
+// content hashes of every input the probe simulation reads, so a hit
+// returns exactly what the probe would have computed — the cache never
+// changes results, only whether they are recomputed. Safe for
+// concurrent use.
+type ProbeCache struct {
+	mu      sync.Mutex
+	entries map[string]float64 // guarded by mu
+	hits    int                // guarded by mu
+	misses  int                // guarded by mu
+}
+
+// NewProbeCache returns an empty probe cache.
+func NewProbeCache() *ProbeCache {
+	return &ProbeCache{entries: map[string]float64{}}
+}
+
+// Stats reports the lookup hit/miss counts so far.
+func (c *ProbeCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *ProbeCache) lookup(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *ProbeCache) store(key string, v float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = v
+}
+
+// probeKey is the deep content hash of everything probeCapacity reads:
+// the stage kernel, the leftover demand, and the cluster fields the
+// probe simulation consumes (LinkGBs and CopyGBs — the probe always
+// runs single-GPU under FairShare). Floats are rendered in hex
+// notation so the key is bit-exact, mirroring the content-hash idiom
+// of internal/lint's analysis cache.
+func probeKey(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.ClusterConfig) string {
+	h := sha256.New()
+	f := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+	fmt.Fprintf(h, "kernel %q work=%s sm=%s membw=%s warps=%d overhead=%s tag=%q\n",
+		stage.Name, f(stage.Work), f(stage.Demand.SM), f(stage.Demand.MemBW),
+		stage.Warps, f(stage.LaunchOverhead), stage.Tag)
+	fmt.Fprintf(h, "leftover sm=%s membw=%s\n", f(leftover.SM), f(leftover.MemBW))
+	fmt.Fprintf(h, "cluster link=%s copy=%s\n", f(cluster.LinkGBs), f(cluster.CopyGBs))
+	return hex.EncodeToString(h.Sum(nil))
+}

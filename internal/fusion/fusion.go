@@ -19,12 +19,20 @@ type Options struct {
 	// Disable turns fusion off entirely (each op becomes its own
 	// kernel) — the "RAP w/o fusion" ablation of Figure 10.
 	Disable bool
-	// Horizon / MaxNodes forward to the MILP solver (0 = defaults).
+	// Horizon / MaxNodes / Workers forward to the MILP solver (0 =
+	// defaults). Workers only changes solver wall-clock, never the
+	// returned plan (the parallel solver is bit-identical); 1 forces
+	// the sequential search.
 	Horizon  int
 	MaxNodes int
+	Workers  int
 	// GreedyOnly skips branch & bound and uses the level greedy — the
 	// fallback for very large per-GPU op sets.
 	GreedyOnly bool
+	// SolveCache, when non-nil, memoizes branch & bound solutions by
+	// problem content so repeated instances (the replanning loop) skip
+	// the search. Hits return exactly what a fresh solve would.
+	SolveCache *SolveCache
 }
 
 // Step is one fused time step: at most one fused kernel per op type.
@@ -181,9 +189,22 @@ func PlanFusionScaled(items []ScaledGraph, opts Options) (*Plan, error) {
 		if prob.MaxNodes == 0 {
 			prob.MaxNodes = budgetFor(len(refs))
 		}
-		sol, err := milp.Solve(prob)
-		if err != nil {
-			return nil, err
+		prob.Workers = opts.Workers
+		var key string
+		var sol milp.Solution
+		var cached bool
+		if opts.SolveCache != nil {
+			key = solveKey(prob)
+			sol, cached = opts.SolveCache.lookup(key)
+		}
+		if !cached {
+			sol, err = milp.Solve(prob)
+			if err != nil {
+				return nil, err
+			}
+			if opts.SolveCache != nil {
+				opts.SolveCache.store(key, sol)
+			}
 		}
 		steps, objective, optimal = sol.Step, sol.Objective, sol.Optimal
 	}

@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -200,5 +201,52 @@ func TestPlanFusionConflictResolution(t *testing.T) {
 	}
 	if !foundFNFusion {
 		t.Fatal("FillNull heads did not fuse")
+	}
+}
+
+func TestSolveCacheHitMatchesFreshSolve(t *testing.T) {
+	graphs := []*preproc.Graph{
+		chain("a", "cat_0", 100), chain("b", "cat_1", 100),
+		chain("c", "cat_2", 100), chain("d", "cat_3", 100),
+	}
+	cache := NewSolveCache()
+	first, err := PlanFusion(graphs, shape, Options{SolveCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cache.Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first solve: hits=%d misses=%d", h, m)
+	}
+	second, err := PlanFusion(graphs, shape, Options{SolveCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := cache.Stats(); h != 1 {
+		t.Fatalf("second solve missed the cache (hits=%d)", h)
+	}
+	fresh, err := PlanFusion(graphs, shape, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Plan{second, fresh} {
+		if !reflect.DeepEqual(first.Steps, p.Steps) ||
+			first.Objective != p.Objective || first.Optimal != p.Optimal {
+			t.Fatal("cached plan differs from fresh solve")
+		}
+	}
+}
+
+func TestSolveCacheKeyCoversBudget(t *testing.T) {
+	graphs := []*preproc.Graph{chain("a", "cat_0", 100), chain("b", "cat_1", 100)}
+	cache := NewSolveCache()
+	if _, err := PlanFusion(graphs, shape, Options{SolveCache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// A different node budget is a different problem; it must not hit.
+	if _, err := PlanFusion(graphs, shape, Options{SolveCache: cache, MaxNodes: 17}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cache.Stats(); h != 0 || m != 2 {
+		t.Fatalf("budget change hit the cache: hits=%d misses=%d", h, m)
 	}
 }

@@ -7,8 +7,11 @@
 package mapping
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"rap/internal/dlrm"
 	"rap/internal/preproc"
@@ -38,6 +41,13 @@ type Result struct {
 	CommBytes []float64
 	// Moves counts accepted rebalancing moves (RAP search only).
 	Moves int
+	// CostEvals counts cost-model evaluations the RAP search actually
+	// ran; CostCacheHits counts evaluations answered from the
+	// assignment-shape memo instead (RAP search only). The cost model
+	// runs a full co-run schedule per call, so hits are the search's
+	// main savings.
+	CostEvals     int
+	CostCacheHits int
 }
 
 // CostFn scores one GPU's preprocessing assignment: the estimated
@@ -238,6 +248,63 @@ func commOf(items []Assign, gpu int, cfg Config) float64 {
 	return total
 }
 
+// costMemo memoizes CostFn evaluations within one RAPSearch run, keyed
+// by a content hash of the candidate assignment's shape: the GPU, the
+// (graph, sample share) list, and the communication volume. CostFn is
+// required to be a pure function of exactly those inputs (the default
+// work-vs-capacity cost and the framework's schedule cost both are), so
+// a hit returns what the evaluation would have computed — unchanged
+// GPUs are never re-scored across move iterations. Item order is part
+// of the key; the search builds candidate lists deterministically, so
+// reordered-but-equal lists only cost an extra miss, never a wrong hit.
+type costMemo struct {
+	raw     CostFn
+	graphID map[*preproc.Graph]int
+	cache   map[string]float64
+	evals   int
+	hits    int
+}
+
+func newCostMemo(raw CostFn, plan *preproc.Plan) *costMemo {
+	ids := make(map[*preproc.Graph]int, len(plan.Graphs))
+	for i, g := range plan.Graphs {
+		ids[g] = i
+	}
+	return &costMemo{raw: raw, graphID: ids, cache: map[string]float64{}}
+}
+
+// key renders the assignment shape; an empty key (a graph outside the
+// plan) disables memoization for that call.
+func (m *costMemo) key(gpu int, items []Assign, comm float64) string {
+	h := sha256.New()
+	f := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+	fmt.Fprintf(h, "gpu %d comm %s\n", gpu, f(comm))
+	for _, a := range items {
+		id, ok := m.graphID[a.Graph]
+		if !ok {
+			return ""
+		}
+		fmt.Fprintf(h, "g%d samples=%d avglen=%s\n", id, a.Shape.Samples, f(a.Shape.AvgListLen))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (m *costMemo) cost(gpu int, items []Assign, comm float64) float64 {
+	key := m.key(gpu, items, comm)
+	if key == "" {
+		m.evals++
+		return m.raw(gpu, items, comm)
+	}
+	if v, ok := m.cache[key]; ok {
+		m.hits++
+		return v
+	}
+	m.evals++
+	v := m.raw(gpu, items, comm)
+	m.cache[key] = v
+	return v
+}
+
 // RAPSearch is the §7.2 joint heuristic: start from data locality,
 // evaluate every GPU with the cost model (which runs the intra-GPU
 // co-run schedule), and repeatedly move work from the most expensive GPU
@@ -254,7 +321,8 @@ func RAPSearch(cfg Config) (*Result, error) {
 	}
 	n := cfg.Placement.NumGPUs
 	perGPU, _ := assignLocality(cfg)
-	cost := cfg.costFn()
+	memo := newCostMemo(cfg.costFn(), cfg.Plan)
+	cost := memo.cost
 	maxMoves := cfg.MaxMoves
 	if maxMoves <= 0 {
 		maxMoves = 200
@@ -338,7 +406,8 @@ func RAPSearch(cfg Config) (*Result, error) {
 			break
 		}
 	}
-	return &Result{Strategy: "rap", PerGPU: perGPU, CommBytes: comm, Moves: moves}, nil
+	return &Result{Strategy: "rap", PerGPU: perGPU, CommBytes: comm, Moves: moves,
+		CostEvals: memo.evals, CostCacheHits: memo.hits}, nil
 }
 
 func argmax(xs []float64) int {
@@ -348,7 +417,6 @@ func argmax(xs []float64) int {
 			best = i
 		}
 	}
-	_ = xs[best]
 	return best
 }
 

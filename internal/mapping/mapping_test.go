@@ -241,3 +241,60 @@ func TestNGramGraphCommCharged(t *testing.T) {
 		t.Skip("placement happened to co-locate all multi-output graphs")
 	}
 }
+
+func TestRAPSearchMemoNeverReEvaluates(t *testing.T) {
+	plan := preproc.SkewedPlan(6, nil)
+	cfg := cfgFor(t, plan, 4)
+	for i := range cfg.CapacityPerGPU {
+		cfg.CapacityPerGPU[i] = 500
+	}
+	// A counting cost that records every (shape-keyed) evaluation: the
+	// memo must never hand the same candidate to the cost model twice.
+	seen := map[string]int{}
+	base := cfg.costFn()
+	probe := newCostMemo(nil, plan) // key helper only
+	cfg.Cost = func(gpu int, items []Assign, comm float64) float64 {
+		if key := probe.key(gpu, items, comm); key != "" {
+			seen[key]++
+			if seen[key] > 1 {
+				t.Fatalf("candidate re-evaluated %d times (gpu %d, %d items)", seen[key], gpu, len(items))
+			}
+		}
+		return base(gpu, items, comm)
+	}
+	res, err := RAPSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 {
+		t.Fatal("search made no moves; memo not exercised")
+	}
+	if res.CostCacheHits == 0 {
+		t.Fatal("no cache hits on a multi-iteration search")
+	}
+	if res.CostEvals != len(seen) {
+		t.Fatalf("CostEvals = %d, distinct evaluations = %d", res.CostEvals, len(seen))
+	}
+}
+
+func TestRAPSearchMemoDoesNotChangeResult(t *testing.T) {
+	// The memo is pure plumbing: a run scored through it must equal a
+	// run whose cost function bypasses keying entirely (cfg.Cost wraps
+	// the default, but the wrapper is transparent).
+	plan := preproc.SkewedPlan(6, nil)
+	cfg := cfgFor(t, plan, 4)
+	for i := range cfg.CapacityPerGPU {
+		cfg.CapacityPerGPU[i] = 500
+	}
+	a, err := RAPSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RAPSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Moves != b.Moves || a.Imbalance() != b.Imbalance() || a.TotalComm() != b.TotalComm() {
+		t.Fatalf("memoized search nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -15,10 +15,14 @@
 // always feasible since equal levels imply incomparability). Within the
 // configured horizon the result is provably optimal; if the node budget
 // is exhausted the incumbent is returned with Optimal=false — mirroring
-// how a time-limited MILP solver behaves.
+// how a time-limited MILP solver behaves. Solve fans the root-level
+// subtrees out to a deterministic worker pool (see parallel.go); the
+// returned solution is bit-identical to the sequential search for every
+// worker count.
 package milp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -32,11 +36,29 @@ type Problem struct {
 	Deps [][]int
 	// Horizon bounds the number of time steps explored. 0 selects
 	// critical-path length + DefaultSlack, which is enough for every
-	// plan in this repo and keeps the search exact.
+	// plan in this repo and keeps the search exact. A positive horizon
+	// below the critical-path length is infeasible and rejected with
+	// ErrInfeasibleHorizon.
 	Horizon int
 	// MaxNodes bounds the branch & bound search (0 = DefaultMaxNodes).
+	// The parallel solver speculatively grants each root subtree the
+	// full budget and falls back to the sequential search whenever it
+	// cannot prove the shared-budget run completes, so budget-truncated
+	// results are identical for every worker count.
 	MaxNodes int
+	// Workers selects the solver parallelism: 0 picks a machine-sized
+	// default, 1 forces the sequential solver, n > 1 caps the worker
+	// pool. The returned Step/Objective/Optimal are bit-identical for
+	// every setting; only Nodes (explored-node accounting) differs
+	// between the sequential and parallel searches.
+	Workers int
 }
+
+// ErrInfeasibleHorizon reports a caller-set Horizon smaller than the
+// dependency critical path: no feasible step assignment exists within
+// it. (Solve used to silently widen the horizon and then claim
+// Optimal=true for a horizon the caller never asked for.)
+var ErrInfeasibleHorizon = errors.New("milp: horizon below dependency critical path")
 
 // DefaultSlack is the extra horizon beyond the critical path explored by
 // default. Delaying an op past its ASAP level is exactly what lets
@@ -165,20 +187,29 @@ func checkShape(p Problem) error {
 	return nil
 }
 
-// Solve runs the branch & bound.
-//
-//rap:deterministic
-func Solve(p Problem) (Solution, error) {
+// search holds the immutable, shareable state of one branch & bound
+// run: the problem, its topological order, the resolved horizon and
+// node budget, the greedy warm start, and the per-position remaining
+// same-type op counts used by the admissible bound. Workers read it
+// concurrently; nothing in it is mutated after prepare returns.
+type search struct {
+	p         Problem
+	order     []int
+	horizon   int
+	maxNodes  int
+	greedy    Solution
+	remaining []map[int]int64
+}
+
+// prepare validates the problem and builds the shared search state.
+func prepare(p Problem) (*search, error) {
 	if err := checkShape(p); err != nil {
-		return Solution{}, err
+		return nil, err
 	}
 	n := len(p.Types)
-	if n == 0 {
-		return Solution{Step: []int{}, Optimal: true}, nil
-	}
 	order, err := topoOrder(p.Deps)
 	if err != nil {
-		return Solution{}, err
+		return nil, err
 	}
 	asap := asapLevels(p.Deps, order)
 	cp := 0
@@ -187,25 +218,22 @@ func Solve(p Problem) (Solution, error) {
 			cp = l + 1
 		}
 	}
+	if p.Horizon > 0 && p.Horizon < cp {
+		return nil, fmt.Errorf("milp: horizon %d cannot hold the %d-step critical path: %w",
+			p.Horizon, cp, ErrInfeasibleHorizon)
+	}
 	horizon := p.Horizon
 	if horizon <= 0 {
 		horizon = cp + DefaultSlack
-	}
-	if horizon < cp {
-		horizon = cp
 	}
 	maxNodes := p.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
 	}
-
-	// Warm start with the level greedy.
 	greedy, err := GreedyLevels(p)
 	if err != nil {
-		return Solution{}, err
+		return nil, err
 	}
-	best := append([]int(nil), greedy.Step...)
-	bestObj := greedy.Objective
 
 	// Remaining same-type op counts from each position in the topo
 	// order, for the admissible bound.
@@ -219,19 +247,65 @@ func Solve(p Problem) (Solution, error) {
 		m[p.Types[order[k]]]++
 		remaining[k] = m
 	}
+	return &search{p: p, order: order, horizon: horizon, maxNodes: maxNodes,
+		greedy: greedy, remaining: remaining}, nil
+}
 
-	s := &solver{
-		p: p, order: order, horizon: horizon, maxNodes: maxNodes,
-		remaining: remaining,
-		steps:     make([]int, n),
+// newSolver builds a fresh mutable solver over the shared state, warm
+// started with the greedy incumbent.
+func (sr *search) newSolver() *solver {
+	return &solver{
+		p: sr.p, order: sr.order, horizon: sr.horizon, maxNodes: sr.maxNodes,
+		remaining: sr.remaining,
+		steps:     make([]int, len(sr.p.Types)),
 		counts:    map[[2]int]int64{},
 		maxCount:  map[int]int64{},
-		bestObj:   bestObj, best: best,
-		optimal: true,
+		bestObj:   sr.greedy.Objective,
+		best:      append([]int(nil), sr.greedy.Step...),
+		optimal:   true,
 	}
-	s.dfs(0, 0)
+}
 
-	return Solution{Step: s.best, Objective: s.bestObj, Optimal: s.optimal, Nodes: s.nodes}, nil
+// Solve runs the branch & bound, fanning the root-level subtrees out to
+// a worker pool unless Workers forces the sequential path. The solution
+// is bit-identical to SolveSequential for every worker count — see
+// solveParallel for the argument.
+//
+//rap:deterministic
+func Solve(p Problem) (Solution, error) {
+	sr, err := prepare(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	if len(p.Types) == 0 {
+		return Solution{Step: []int{}, Optimal: true}, nil
+	}
+	if workers := effectiveWorkers(p.Workers, sr.horizon); workers > 1 && len(p.Types) >= parallelMinOps {
+		return sr.parallel(workers), nil
+	}
+	return sr.sequential(), nil
+}
+
+// SolveSequential runs the single-threaded branch & bound regardless of
+// Problem.Workers — the reference the parallel solver is equivalence-
+// tested against (and the pre-parallelism Solve behaviour).
+//
+//rap:deterministic
+func SolveSequential(p Problem) (Solution, error) {
+	sr, err := prepare(p)
+	if err != nil {
+		return Solution{}, err
+	}
+	if len(p.Types) == 0 {
+		return Solution{Step: []int{}, Optimal: true}, nil
+	}
+	return sr.sequential(), nil
+}
+
+func (sr *search) sequential() Solution {
+	s := sr.newSolver()
+	s.dfs(0, 0)
+	return Solution{Step: s.best, Objective: s.bestObj, Optimal: s.optimal, Nodes: s.nodes}
 }
 
 type solver struct {

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -111,16 +112,24 @@ func TestSolveBeatsGreedy(t *testing.T) {
 	}
 }
 
-func TestSolveRespectsHorizon(t *testing.T) {
-	// Chain of 3 needs 3 steps; horizon 2 makes it infeasible, so the
-	// solver must fall back to the greedy warm start (which uses 3
-	// steps, i.e. violates nothing — greedy ignores horizon).
+func TestSolveRejectsInfeasibleHorizon(t *testing.T) {
+	// A chain of 3 needs 3 steps; horizon 2 cannot hold it. The solver
+	// used to silently widen the horizon to the critical path and claim
+	// Optimal=true for a horizon the caller never set; now it reports
+	// the infeasibility explicitly.
 	p := Problem{Types: []int{0, 0, 0}, Deps: [][]int{nil, {0}, {1}}, Horizon: 2}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasibleHorizon) {
+		t.Fatalf("err = %v, want ErrInfeasibleHorizon", err)
+	}
+	if _, err := SolveSequential(p); !errors.Is(err, ErrInfeasibleHorizon) {
+		t.Fatalf("sequential err = %v, want ErrInfeasibleHorizon", err)
+	}
+	// A horizon exactly at the critical path is feasible.
+	p.Horizon = 3
 	sol, err := Solve(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The incumbent is still the feasible greedy solution.
 	if err := Validate(p, sol.Step); err != nil {
 		t.Fatal(err)
 	}

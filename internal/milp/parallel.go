@@ -1,0 +1,157 @@
+package milp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinOps is the instance size below which the fan-out overhead
+// outweighs the parallel search; smaller problems run sequentially.
+// The cutover is invisible in results: both paths return bit-identical
+// solutions.
+const parallelMinOps = 16
+
+// maxWorkers caps the auto-sized worker pool: root fan-out produces at
+// most `horizon` subtrees, and horizons in this repo are small, so a
+// large pool would only idle.
+const maxWorkers = 16
+
+// effectiveWorkers resolves Problem.Workers against the machine and the
+// root fan-out width. The worker count never influences the returned
+// solution — only wall-clock — so sizing from GOMAXPROCS is safe for
+// the determinism contract.
+func effectiveWorkers(requested, horizon int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > maxWorkers {
+			w = maxWorkers
+		}
+	}
+	if w > horizon {
+		w = horizon
+	}
+	return w
+}
+
+// parallel runs the branch & bound with the root level fanned out to a
+// worker pool: the first op in topological order is pinned to each
+// feasible step t, and each resulting subtree is searched independently
+// by a sequential solver warm-started with the greedy incumbent and
+// given the full node budget.
+//
+// Why the merged result is bit-identical to the sequential solver when
+// the search completes: the sequential dfs explores root candidates in
+// ascending step order (all (type, step) fusion counts are zero at the
+// root, so the most-promising-first sort leaves candidates ascending —
+// and candidate ordering depends only on path state, never on the
+// incumbent), carrying its incumbent from one subtree into the next,
+// and only ever replacing the incumbent on a strict objective
+// improvement. Pruning (bound <= incumbent) never discards a strictly
+// improving solution, so within one subtree the solver always returns
+// the first solution in dfs order that attains the subtree's maximum
+// objective, no matter how strong its starting incumbent was. Folding
+// the per-subtree results together in root-candidate order with the
+// same strict-improvement rule therefore reproduces the sequential
+// incumbent chain exactly: ties keep the earlier candidate, which is
+// the deterministic (objective, lexicographically-smaller first step)
+// preference.
+//
+// Budget exhaustion is where the two searches could diverge: the
+// sequential solver shares one budget across subtrees while each
+// worker here gets the full budget. The merged result is therefore
+// accepted only when the sequential run provably completes: every
+// subtree finished optimally AND the total explored nodes fit the
+// budget. (At every corresponding dfs point the sequential incumbent
+// is >= the worker's greedy-started incumbent, so the sequential
+// search visits a subset of each worker's nodes — its total is at most
+// 1 + Σ worker nodes.) When completion cannot be proven, Solve falls
+// back to the sequential solver, so budget-truncated results are also
+// bit-identical to SolveSequential. Nodes is the only field that may
+// differ (weaker warm starts prune less, and the fallback adds the
+// speculative parallel exploration to the count); per-worker full
+// budgets keep even Nodes independent of the worker count.
+func (sr *search) parallel(workers int) Solution {
+	root := sr.newSolver()
+	root.nodes = 1 // the root node, as in the sequential dfs
+
+	// Replicate the sequential root-node bound check: when the greedy
+	// warm start is already provably optimal there is nothing to fan
+	// out.
+	if root.bound(0, 0) <= root.bestObj {
+		return Solution{Step: root.best, Objective: root.bestObj, Optimal: true, Nodes: root.nodes}
+	}
+
+	op := sr.order[0] // indegree 0, so its minimum step is 0
+	ty := sr.p.Types[op]
+	cands := make([]int, sr.horizon)
+	for t := range cands {
+		cands[t] = t
+	}
+
+	type subtreeResult struct {
+		best    []int
+		bestObj int64
+		nodes   int
+		optimal bool
+	}
+	results := make([]subtreeResult, len(cands))
+
+	// Race the sequential search alongside the fan-out: if the merge
+	// below cannot prove the shared-budget run completes, its result is
+	// the answer, and starting it now means the fallback costs no extra
+	// wall-clock — budget-exhausted instances take sequential time
+	// instead of fan-out time plus sequential time. When the merge is
+	// provably complete the racer's result is discarded unread (it
+	// terminates on its own, within the same budget).
+	seqCh := make(chan Solution, 1)
+	go func() {
+		seqCh <- sr.sequential()
+	}()
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, t := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, t int) {
+			defer func() { <-sem; wg.Done() }()
+			s := sr.newSolver()
+			s.steps[op] = t
+			s.counts[[2]int{ty, t}] = 1
+			s.maxCount[ty] = 1
+			s.dfs(1, 1) // delta of the first placement: 1² - 0²
+			results[i] = subtreeResult{best: s.best, bestObj: s.bestObj, nodes: s.nodes, optimal: s.optimal}
+		}(i, t)
+	}
+	wg.Wait()
+
+	merged := Solution{
+		Step:      append([]int(nil), sr.greedy.Step...),
+		Objective: sr.greedy.Objective,
+		Optimal:   true,
+		Nodes:     root.nodes,
+	}
+	for _, r := range results {
+		merged.Nodes += r.nodes
+		if !r.optimal {
+			merged.Optimal = false
+		}
+		if r.bestObj > merged.Objective {
+			merged.Objective = r.bestObj
+			merged.Step = r.best
+		}
+	}
+	if merged.Optimal && merged.Nodes <= sr.maxNodes {
+		return merged
+	}
+
+	// Sequential completion is not provable: the shared-budget search
+	// may truncate differently than the per-subtree fan-out did, so
+	// defer to the racer outright. The speculative parallel nodes stay
+	// in the count — they were explored — which keeps Nodes
+	// deterministic and worker-independent.
+	seq := <-seqCh
+	seq.Nodes += merged.Nodes - 1 // the root node is in both counts
+	return seq
+}

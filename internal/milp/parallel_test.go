@@ -1,0 +1,118 @@
+package milp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomProblem builds a random DAG instance large enough to take the
+// parallel path (n >= parallelMinOps).
+func randomProblem(seed int64) Problem {
+	rng := rand.New(rand.NewSource(seed))
+	n := parallelMinOps + rng.Intn(24)
+	types := make([]int, n)
+	deps := make([][]int, n)
+	for i := 0; i < n; i++ {
+		types[i] = rng.Intn(4)
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.15 {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	// A modest budget keeps exhausted instances cheap while still
+	// exercising the sequential-fallback path on the larger DAGs.
+	return Problem{Types: types, Deps: deps, MaxNodes: 50_000}
+}
+
+// TestSolveParallelMatchesSequential is the equivalence contract of the
+// parallel solver: across 64 random seeds, Step, Objective and Optimal
+// must be bit-identical to the sequential reference. Nodes is excluded
+// by design (weaker warm starts in the subtree workers prune less).
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		p := randomProblem(seed)
+		seq, err := SolveSequential(p)
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		for _, workers := range []int{0, 2, 3, 7} {
+			p.Workers = workers
+			par, err := Solve(p)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(par.Step, seq.Step) || par.Objective != seq.Objective || par.Optimal != seq.Optimal {
+				t.Fatalf("seed %d workers %d: parallel (obj %d, opt %v, steps %v) != sequential (obj %d, opt %v, steps %v)",
+					seed, workers, par.Objective, par.Optimal, par.Step,
+					seq.Objective, seq.Optimal, seq.Step)
+			}
+			if err := Validate(p, par.Step); err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+		}
+	}
+}
+
+// TestSolveParallelDeterministic double-runs the parallel solver: the
+// full Solution (including Nodes — per-subtree budgets make node
+// accounting scheduling-independent) must be identical run to run.
+func TestSolveParallelDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		p := randomProblem(seed)
+		p.Workers = 4
+		a, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: nondeterministic parallel solve: %+v vs %+v", seed, a, b)
+		}
+	}
+}
+
+// TestSolveParallelRootPrune pins the greedy-already-optimal shortcut:
+// independent same-type ops fuse maximally at step 0, the root bound
+// equals the greedy objective, and the fan-out never happens.
+func TestSolveParallelRootPrune(t *testing.T) {
+	n := parallelMinOps
+	p := Problem{Types: make([]int, n), Deps: make([][]int, n), Workers: 4}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * int64(n); sol.Objective != want {
+		t.Fatalf("objective = %d, want %d", sol.Objective, want)
+	}
+	if !sol.Optimal || sol.Nodes != 1 {
+		t.Fatalf("root prune not taken: %+v", sol)
+	}
+}
+
+// TestSolveParallelBudgetIndependentOfWorkers pins the per-subtree
+// budget rule: under a tight node budget the merged solution must not
+// depend on the worker count.
+func TestSolveParallelBudgetIndependentOfWorkers(t *testing.T) {
+	p := randomProblem(3)
+	p.MaxNodes = 200
+	var ref Solution
+	for i, workers := range []int{2, 3, 5, 8} {
+		p.Workers = workers
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = sol
+			continue
+		}
+		if !reflect.DeepEqual(sol, ref) {
+			t.Fatalf("workers %d: %+v differs from %+v", workers, sol, ref)
+		}
+	}
+}

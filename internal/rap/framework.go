@@ -2,6 +2,7 @@ package rap
 
 import (
 	"fmt"
+	"sync"
 
 	"rap/internal/chaos"
 	"rap/internal/costmodel"
@@ -53,13 +54,52 @@ type BuildOptions struct {
 type Framework struct {
 	W       *Workload
 	Cluster gpusim.ClusterConfig
+	// Planner toggles the planner fast path (probe memoization,
+	// concurrent probing, parallel MILP, plan caching). The zero value
+	// enables everything; no toggle changes plan contents.
+	Planner PlannerOptions
 
 	pred *costmodel.Predictor
+	// predGen counts predictor replacements; it is part of every
+	// plan-cache key, so retraining invalidates cached plans without
+	// flushing anything.
+	predGen int
+
+	// newCostModel builds the per-GPU cost model; a seam for tests that
+	// need a cost model failing on specific candidates.
+	newCostModel func(caps []costmodel.StageCapacity) (*costmodel.CostModel, error)
+
+	probeCache  *costmodel.ProbeCache
+	fusionCache *fusion.SolveCache
+
+	mu        sync.Mutex
+	planCache map[string]*ExecPlan // guarded by mu
 }
 
 // New creates a framework for a workload on a cluster.
 func New(w *Workload, cluster gpusim.ClusterConfig) *Framework {
-	return &Framework{W: w, Cluster: cluster.WithDefaults(), pred: costmodel.AnalyticPredictor()}
+	f := &Framework{
+		W:           w,
+		Cluster:     cluster.WithDefaults(),
+		pred:        costmodel.AnalyticPredictor(),
+		probeCache:  costmodel.NewProbeCache(),
+		fusionCache: fusion.NewSolveCache(),
+		planCache:   map[string]*ExecPlan{},
+	}
+	f.newCostModel = func(caps []costmodel.StageCapacity) (*costmodel.CostModel, error) {
+		return costmodel.NewCostModel(f.pred, caps)
+	}
+	return f
+}
+
+// ProbeCacheStats reports the capacity-probe cache's hit/miss counts.
+func (f *Framework) ProbeCacheStats() (hits, misses int) {
+	return f.probeCache.Stats()
+}
+
+// FusionCacheStats reports the fusion solve cache's hit/miss counts.
+func (f *Framework) FusionCacheStats() (hits, misses int) {
+	return f.fusionCache.Stats()
 }
 
 // OfflineTrainPredictor runs the offline pass (Figure 4 step 1):
@@ -76,6 +116,7 @@ func (f *Framework) OfflineTrainPredictor(samples int, seed int64) (map[string]f
 		return nil, err
 	}
 	f.pred = pred
+	f.predGen++
 	return pred.Accuracy(eval, 0.10), nil
 }
 
@@ -113,31 +154,106 @@ func (p *ExecPlan) TotalPredictedExposed() float64 {
 
 // BuildPlan runs the online pass (Figure 4 steps 2-3): estimate
 // overlapping capacity, map the preprocessing graphs, fuse, and search
-// the co-running schedule.
+// the co-running schedule. Identical requests — same workload shape,
+// cluster, options and predictor generation, by deep content hash —
+// return the already-built plan unless Planner.DisablePlanCache is
+// set.
 func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 	if opts.Strategy == "" {
 		opts.Strategy = MapRAP
 	}
+	var key string
+	if !f.Planner.DisablePlanCache {
+		key = f.planKey(opts)
+		f.mu.Lock()
+		cached := f.planCache[key]
+		f.mu.Unlock()
+		if cached != nil {
+			return cached, nil
+		}
+	}
+	plan, err := f.buildPlan(opts)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		f.mu.Lock()
+		f.planCache[key] = plan
+		f.mu.Unlock()
+	}
+	return plan, nil
+}
+
+// estimateCapacities runs the step-2 per-GPU capacity profiling,
+// concurrently unless Planner.SequentialProbes is set. GPU 0 always
+// probes first to warm the probe cache — homogeneous GPUs share most
+// stage profiles, so the remaining GPUs then answer mostly from memo —
+// and results are collected by GPU index, so the output is identical
+// either way.
+func (f *Framework) estimateCapacities(pl dlrm.Placement) ([][]costmodel.StageCapacity, []float64, error) {
+	n := f.Cluster.NumGPUs
+	cache := f.probeCache
+	if f.Planner.DisableProbeMemo {
+		cache = nil
+	}
+	caps := make([][]costmodel.StageCapacity, n)
+	errs := make([]error, n)
+	estimate := func(g int) {
+		caps[g], errs[g] = costmodel.EstimateCapacitiesCached(f.W.Model, pl, g, f.Cluster, cache)
+	}
+	estimate(0)
+	if f.Planner.SequentialProbes || errs[0] != nil {
+		for g := 1; g < n; g++ {
+			estimate(g)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for g := 1; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				estimate(g)
+			}(g)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	capTotals := make([]float64, n)
+	for g := 0; g < n; g++ {
+		capTotals[g] = costmodel.TotalCapacity(caps[g])
+	}
+	return caps, capTotals, nil
+}
+
+func (f *Framework) buildPlan(opts BuildOptions) (*ExecPlan, error) {
 	n := f.Cluster.NumGPUs
 	pl := dlrm.PlaceTables(f.W.Model.TableSizes, n)
 
 	// Step 2: per-GPU overlapping-capacity profiles.
-	caps := make([][]costmodel.StageCapacity, n)
-	capTotals := make([]float64, n)
-	for g := 0; g < n; g++ {
-		c, err := costmodel.EstimateCapacities(f.W.Model, pl, g, f.Cluster)
-		if err != nil {
-			return nil, err
-		}
-		caps[g] = c
-		capTotals[g] = costmodel.TotalCapacity(c)
+	caps, capTotals, err := f.estimateCapacities(pl)
+	if err != nil {
+		return nil, err
 	}
 
 	// Step 3a: inter-GPU graph mapping. Candidate mappings are scored
 	// the way §7.2 prescribes: run the intra-GPU co-running schedule
 	// (Algorithm 1, with a fast greedy fusion) for the candidate
 	// assignment and take the cost model's exposed latency plus the
-	// communication cost of the move.
+	// communication cost of the move. A candidate that fails to score
+	// records the first error for BuildPlan to return — an unscorable
+	// candidate means the search itself is compromised, not just that
+	// one move is unattractive.
+	var costErr error
+	fail := func(stage string, gpu int, err error) float64 {
+		if costErr == nil {
+			costErr = fmt.Errorf("rap: scoring mapping candidate on gpu %d: %s: %w", gpu, stage, err)
+		}
+		return 1e18
+	}
 	cost := func(gpu int, items []mapping.Assign, commBytes float64) float64 {
 		sg := make([]fusion.ScaledGraph, len(items))
 		for i, a := range items {
@@ -145,15 +261,15 @@ func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 		}
 		fp, err := fusion.PlanFusionScaled(sg, fusion.Options{GreedyOnly: true, Disable: opts.NoFusion})
 		if err != nil {
-			return 1e18
+			return fail("greedy fusion", gpu, err)
 		}
-		cm, err := costmodel.NewCostModel(f.pred, caps[gpu])
+		cm, err := f.newCostModel(caps[gpu])
 		if err != nil {
-			return 1e18
+			return fail("cost model", gpu, err)
 		}
 		s, err := sched.CoRunSchedule(fp, cm, sched.Options{DisableSharding: opts.NoSharding})
 		if err != nil {
-			return 1e18
+			return fail("co-run schedule", gpu, err)
 		}
 		return s.PredictedExposed + commBytes*ScatterInefficiency/(f.Cluster.LinkGBs*1e3)
 	}
@@ -166,7 +282,6 @@ func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 		Cost:           cost,
 	}
 	var mapped *mapping.Result
-	var err error
 	switch opts.Strategy {
 	case MapRAP:
 		mapped, err = mapping.RAPSearch(mcfg)
@@ -176,6 +291,9 @@ func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 		mapped, err = mapping.DataLocality(mcfg)
 	default:
 		return nil, fmt.Errorf("rap: unknown mapping strategy %q", opts.Strategy)
+	}
+	if costErr != nil {
+		return nil, costErr
 	}
 	if err != nil {
 		return nil, err
@@ -194,22 +312,41 @@ func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 		Work:       make([]sched.GPUWork, n),
 	}
 	plan.PredictedExposedUs = make([]float64, n)
-	for g := 0; g < n; g++ {
+
+	// The per-GPU problems are independent, so the lowering runs one
+	// goroutine per GPU unless Planner.SequentialLowering is set. The
+	// MILP worker policy follows from which level owns the cores: with
+	// cross-GPU concurrency each solve runs single-threaded (n solves
+	// already saturate the machine, and fanning out inside each would
+	// only oversubscribe); with sequential lowering the lone solve gets
+	// the parallel solver. Either way milp.Solve is bit-identical to the
+	// sequential search, so the policy never changes plan contents.
+	solveWorkers := 0
+	if f.Planner.SequentialSolve || !f.Planner.SequentialLowering {
+		solveWorkers = 1
+	}
+	solveCache := f.fusionCache
+	if f.Planner.DisableFusionMemo {
+		solveCache = nil
+	}
+	lower := func(g int) error {
 		items := make([]fusion.ScaledGraph, len(mapped.PerGPU[g]))
 		for i, a := range mapped.PerGPU[g] {
 			items[i] = fusion.ScaledGraph{Graph: a.Graph, Shape: a.Shape}
 		}
 		fp, err := fusion.PlanFusionScaled(items, fusion.Options{
-			Disable:  opts.NoFusion,
-			MaxNodes: opts.FusionMaxNodes,
+			Disable:    opts.NoFusion,
+			MaxNodes:   opts.FusionMaxNodes,
+			Workers:    solveWorkers,
+			SolveCache: solveCache,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan.Fusions[g] = fp
-		cm, err := costmodel.NewCostModel(f.pred, caps[g])
+		cm, err := f.newCostModel(caps[g])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var s *sched.Schedule
 		if opts.NaiveSchedule {
@@ -218,7 +355,7 @@ func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 		} else {
 			s, err = sched.CoRunSchedule(fp, cm, sched.Options{DisableSharding: opts.NoSharding})
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		plan.Schedules[g] = s
@@ -228,6 +365,35 @@ func (f *Framework) BuildPlan(opts BuildOptions) (*ExecPlan, error) {
 			InputCommBytes: mapped.CommBytes[g] * ScatterInefficiency,
 			PrepBytes:      rawInputBytes(mapped.PerGPU[g]),
 			CPUPrepUs:      hostPrepUs(s),
+		}
+		return nil
+	}
+	if f.Planner.SequentialLowering {
+		for g := 0; g < n; g++ {
+			if err := lower(g); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Graphs are shared across GPUs and Graph.Deps is built lazily;
+		// warm it up front so the concurrent lowerings only read.
+		for _, gr := range f.W.Plan.Graphs {
+			gr.Deps()
+		}
+		lowerErrs := make([]error, n)
+		var wg sync.WaitGroup
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				lowerErrs[g] = lower(g)
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range lowerErrs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	return plan, nil

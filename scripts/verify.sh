@@ -16,4 +16,13 @@ echo "== raplint"
 go run ./cmd/raplint -timing -json lint-report.json ./...
 echo "== go test -race"
 go test -race ./...
+echo "== planner-bench smoke"
+# rapbench re-reads and unmarshals the report itself (exits nonzero on a
+# parse failure); this re-checks the file landed with the gate fields.
+tmp_bench="$(mktemp)"
+go run ./cmd/rapbench -planner-bench -quick -planner-out "$tmp_bench"
+for field in sequential_build_ns fast_warm_build_ns build_speedup solver_speedup; do
+	grep -q "\"$field\"" "$tmp_bench" || { echo "verify: $tmp_bench missing $field" >&2; exit 1; }
+done
+rm -f "$tmp_bench"
 echo "verify: OK"
