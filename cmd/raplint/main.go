@@ -1,10 +1,13 @@
 // raplint runs the project's domain-specific static analyzers over the
 // module. The v1 local analyzers — maporder, seededrand, floateq,
-// unitmix, panicpath — guard per-package determinism and unit
-// invariants; the v2 whole-program analyzers — detaint, guardedby,
-// goroutinecapture, unusedignore — follow nondeterminism across the
-// call graph, enforce `// guarded by` mutex contracts, inspect
-// goroutine closures, and keep the //lint:ignore inventory honest (see
+// panicpath — guard per-package determinism and unit invariants; the
+// v2 whole-program analyzers — detaint, guardedby, goroutinecapture,
+// unusedignore — follow nondeterminism across the call graph, enforce
+// `// guarded by` mutex contracts, inspect goroutine closures, and
+// keep the //lint:ignore inventory honest; the v3 flow-sensitive
+// analyzers — dimcheck, floatreduce — propagate `//rap:unit`
+// dimensions through an SSA value-flow layer and flag float
+// accumulations whose order is not statically deterministic (see
 // internal/lint and DESIGN.md §6).
 //
 // Usage:
@@ -14,17 +17,21 @@
 //
 // Flags:
 //
-//	-json FILE    write a machine-readable report (findings + stats); "-" for stdout
-//	-sarif FILE   write a SARIF 2.1.0 log; "-" for stdout
-//	-timing       print per-analyzer wall time and cache stats to stderr
-//	-nocache      disable the per-package content-hash result cache
-//	-cache-dir D  override the cache directory (default per-user cache)
-//	-jobs N       concurrent package analysis (default GOMAXPROCS)
+//	-json FILE        write a machine-readable report (findings + stats); "-" for stdout
+//	-sarif FILE       write a SARIF 2.1.0 log; "-" for stdout
+//	-timing           print per-analyzer wall time and cache stats to stderr
+//	-nocache          disable the per-package content-hash result cache
+//	-cache-dir D      override the cache directory (default per-user cache)
+//	-jobs N           concurrent package analysis (default GOMAXPROCS)
+//	-legacy-unitmix   also run the retired v1 unitmix analyzer (dimcheck
+//	                  subsumes it; the flag exists for comparison runs)
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings can
 // be suppressed with `//lint:ignore <analyzer> <reason>` on or above
 // the offending line; deterministic entry points are declared with
-// `//rap:deterministic` in a function's doc comment.
+// `//rap:deterministic` in a function's doc comment; units are declared
+// with `//rap:unit <unit>` on struct fields and var/const specs, or
+// `//rap:unit <param|return> <unit>` in a function's doc comment.
 package main
 
 import (
@@ -45,9 +52,13 @@ func main() {
 	noCache := flag.Bool("nocache", false, "disable the per-package result cache")
 	cacheDir := flag.String("cache-dir", "", "cache directory (default: per-user cache)")
 	jobs := flag.Int("jobs", 0, "concurrent package analysis (default GOMAXPROCS)")
+	legacyUnitmix := flag.Bool("legacy-unitmix", false, "also run the retired v1 unitmix analyzer (subsumed by dimcheck)")
 	flag.Parse()
 
 	analyzers := lint.All()
+	if *legacyUnitmix {
+		analyzers = append(analyzers, lint.UnitMix)
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
@@ -110,8 +121,8 @@ func writeReport(path string, write func(*os.File) error) error {
 }
 
 func printTiming(stats *lint.Stats) {
-	fmt.Fprintf(os.Stderr, "raplint: %d packages (%d cached) in %s (load %s, analyze %s)\n",
-		stats.Packages, stats.CacheHits, round(stats.Total), round(stats.Load), round(stats.Analyze))
+	fmt.Fprintf(os.Stderr, "raplint: %d packages (%d cached) in %s (load %s, analyze %s, ssa build %s)\n",
+		stats.Packages, stats.CacheHits, round(stats.Total), round(stats.Load), round(stats.Analyze), round(stats.SSABuild))
 	names := make([]string, 0, len(stats.PerAnalyzer))
 	for name := range stats.PerAnalyzer {
 		names = append(names, name)

@@ -31,7 +31,7 @@ import (
 // [T0, T1) µs — thermal or power throttling, or an unmodeled co-tenant.
 type ThrottleWindow struct {
 	GPU    int
-	T0, T1 float64
+	T0, T1 float64 //rap:unit us
 	// SMScale and MemScale are the remaining capacity fractions in
 	// [0,1]; 1 leaves the resource untouched.
 	SMScale, MemScale float64
@@ -41,7 +41,7 @@ type ThrottleWindow struct {
 // [T0, T1) µs — a degraded or congested fabric.
 type LinkWindow struct {
 	GPU    int
-	T0, T1 float64
+	T0, T1 float64 //rap:unit us
 	Scale  float64
 }
 
@@ -49,7 +49,7 @@ type LinkWindow struct {
 // cache pressure, co-located jobs, or a storage stall starving the
 // data-preparation workers.
 type HostStallWindow struct {
-	T0, T1 float64
+	T0, T1 float64 //rap:unit us
 	Scale  float64
 }
 
@@ -220,7 +220,7 @@ type Scenario struct {
 	NumGPUs int
 	// HorizonUs is the simulated time span the windows cover; pick the
 	// expected makespan (windows never start after it).
-	HorizonUs float64
+	HorizonUs float64 //rap:unit us
 	// Severity in [0,1] scales both how many windows the plan carries
 	// and how deep they cut. 0 yields the empty plan.
 	Severity float64

@@ -15,25 +15,25 @@ type StageCapacity struct {
 	Index int
 	Name  string
 	// Duration is the stage's solo latency (µs).
-	Duration float64
+	Duration float64 //rap:unit us
 	// Leftover is the GPU resource headroom while the stage runs; a
 	// co-running kernel whose demand fits inside it is contention-free.
 	Leftover gpusim.Demand
 	// Capacity is the measured overlapping capacity in standalone-
 	// preprocessing-latency µs (the paper's latency-based abstraction).
-	Capacity float64
+	Capacity float64 //rap:unit us
 }
 
 // Tolerance is the acceptable relative stretch of a training stage used
 // when probing capacity (the "without extending the total latency"
 // criterion, with measurement slack).
-const Tolerance = 0.03
+const Tolerance = 0.03 //rap:unit 1
 
 // SafetyFactor discounts the probed capacity before scheduling against
 // it: probing tolerates a small stretch, but planning at 100% of the
 // tolerant measurement would bake a systematic per-stage spill into the
 // pipeline.
-const SafetyFactor = 0.9
+const SafetyFactor = 0.9 //rap:unit 1
 
 // EstimateCapacities profiles every training stage of GPU gpu by
 // co-running probe preprocessing kernels against it in an isolated
@@ -109,6 +109,8 @@ const maxCapacityGrowth = 64
 // preprocessing latency) that co-runs with the stage kernel while (a)
 // the stage stretches by at most Tolerance and (b) the probe finishes
 // no later than the stage (fully hidden: pRes.End <= stRes.End).
+//
+//rap:unit return us
 func probeCapacity(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.ClusterConfig) float64 {
 	solo := stage.SoloLatency()
 	probeDemand := gpusim.Demand{SM: leftover.SM * 0.95, MemBW: leftover.MemBW * 0.95}
@@ -140,6 +142,9 @@ func probeCapacity(stage gpusim.Kernel, leftover gpusim.Demand, cluster gpusim.C
 // initial bracket is measured instead of silently clipped. fits must be
 // monotone (fits(w) implies fits(w') for all w' < w); the result is
 // within solo/100 of the true threshold.
+//
+//rap:unit solo us
+//rap:unit return us
 func searchCapacity(fits func(work float64) bool, solo float64) float64 {
 	if !fits(1e-6) {
 		return 0
@@ -168,6 +173,8 @@ func searchCapacity(fits func(work float64) bool, solo float64) float64 {
 
 // TotalCapacity sums the capacities of all stages — the per-iteration
 // preprocessing budget of one GPU.
+//
+//rap:unit return us
 func TotalCapacity(caps []StageCapacity) float64 {
 	t := 0.0
 	for _, c := range caps {

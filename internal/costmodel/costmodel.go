@@ -28,9 +28,13 @@ func NewCostModel(pred *Predictor, caps []StageCapacity) (*CostModel, error) {
 }
 
 // TotalCapacity is the per-iteration overlapping capacity (µs).
+//
+//rap:unit return us
 func (cm *CostModel) TotalCapacity() float64 { return TotalCapacity(cm.Caps) }
 
 // PredictTotal sums the predicted standalone latencies of the kernels.
+//
+//rap:unit return us
 func (cm *CostModel) PredictTotal(kernels []preproc.KernelSpec) float64 {
 	t := 0.0
 	for _, k := range kernels {
@@ -41,12 +45,16 @@ func (cm *CostModel) PredictTotal(kernels []preproc.KernelSpec) float64 {
 
 // ExposedLatency returns LΔ for running the given kernels within one
 // training iteration. Negative values indicate slack.
+//
+//rap:unit return us
 func (cm *CostModel) ExposedLatency(kernels []preproc.KernelSpec) float64 {
 	return cm.PredictTotal(kernels) - cm.TotalCapacity()
 }
 
 // ExposedLatencyClamped returns max(0, LΔ) — the cost the mapping search
 // minimizes per GPU (§7.2).
+//
+//rap:unit return us
 func (cm *CostModel) ExposedLatencyClamped(kernels []preproc.KernelSpec) float64 {
 	if v := cm.ExposedLatency(kernels); v > 0 {
 		return v
@@ -58,6 +66,8 @@ func (cm *CostModel) ExposedLatencyClamped(kernels []preproc.KernelSpec) float64
 // stage s): per-stage exposure accumulates when a stage's kernels exceed
 // its capacity, and slack from earlier stages carries forward (the
 // preprocessing stream keeps running across stage boundaries).
+//
+//rap:unit return us
 func (cm *CostModel) ScheduleCost(assign [][]preproc.KernelSpec) (float64, error) {
 	if len(assign) != len(cm.Caps) {
 		return 0, fmt.Errorf("costmodel: schedule covers %d stages, profile has %d", len(assign), len(cm.Caps))

@@ -42,7 +42,7 @@ func features(s preproc.KernelSpec) []float64 {
 type Sample struct {
 	Spec preproc.KernelSpec
 	// Latency is the measured standalone latency (µs).
-	Latency float64
+	Latency float64 //rap:unit us
 }
 
 // Dataset groups samples by predictor category (Table 5).
@@ -192,6 +192,8 @@ func TrainPredictor(ds Dataset, cfg gbdt.Config) (*Predictor, error) {
 // Predict returns the predicted standalone latency (µs) of a kernel.
 // Kernels of categories the predictor was never trained on fall back to
 // the analytic model (and FallbackUsed reports it).
+//
+//rap:unit return us
 func (p *Predictor) Predict(spec preproc.KernelSpec) float64 {
 	m, ok := p.models[spec.Type.PredictorCategory()]
 	if !ok {

@@ -13,12 +13,12 @@ import (
 // Figure 1(a) that RAP harvests.
 const (
 	// flopsPerUs is effective full-GPU FLOP throughput per µs.
-	flopsPerUs = 2.5e7
+	flopsPerUs = 2.5e7 //rap:unit flop/us
 	// hbmBytesPerUs is effective full-GPU DRAM bandwidth per µs.
-	hbmBytesPerUs = 1.5e6
+	hbmBytesPerUs = 1.5e6 //rap:unit B/us
 	// trainLaunchOverhead is the per-stage launch cost (µs); training
 	// stages are big fused kernels so this is mostly negligible.
-	trainLaunchOverhead = 4.0
+	trainLaunchOverhead = 4.0 //rap:unit us
 )
 
 // StageKind distinguishes compute stages from communication stages.
@@ -38,11 +38,14 @@ type Stage struct {
 	// Kernel is set for StageCompute.
 	Kernel gpusim.Kernel
 	// Bytes is the per-GPU communication volume for StageComm.
-	Bytes float64
+	Bytes float64 //rap:unit B
 }
 
 // SoloLatency returns the stage's uncontended duration given the link
 // bandwidth (GB/s) for comm stages.
+//
+//rap:unit linkGBs GB/s
+//rap:unit return us
 func (s Stage) SoloLatency(linkGBs float64) float64 {
 	if s.Kind == StageComm {
 		return s.Bytes / (linkGBs * 1e3)
@@ -50,6 +53,9 @@ func (s Stage) SoloLatency(linkGBs float64) float64 {
 	return s.Kernel.SoloLatency()
 }
 
+// mlpFlops counts the forward FLOPs of an MLP stack.
+//
+//rap:unit return flop
 func mlpFlops(batch int, dims []int) float64 {
 	f := 0.0
 	for i := 0; i+1 < len(dims); i++ {
@@ -58,6 +64,9 @@ func mlpFlops(batch int, dims []int) float64 {
 	return 2 * float64(batch) * f
 }
 
+// computeStage builds a compute-bound stage from a FLOP count.
+//
+//rap:unit flops flop
 func computeStage(name string, flops, sm, bw float64) Stage {
 	return Stage{
 		Name: name,
@@ -72,6 +81,9 @@ func computeStage(name string, flops, sm, bw float64) Stage {
 	}
 }
 
+// memoryStage builds a bandwidth-bound stage from a byte volume.
+//
+//rap:unit bytes B
 func memoryStage(name string, bytes, sm, bw float64) Stage {
 	return Stage{
 		Name: name,
@@ -275,6 +287,9 @@ func extraDepsFor(extra [][]gpusim.OpID, g int) []gpusim.OpID {
 // IterationSoloLatency estimates one iteration's uncontended latency on
 // the critical path (max across GPUs of the serial stage chain; comm
 // stages use the given link bandwidth).
+//
+//rap:unit linkGBs GB/s
+//rap:unit return us
 func (c Config) IterationSoloLatency(pl Placement, linkGBs float64) float64 {
 	worst := 0.0
 	for g := 0; g < pl.NumGPUs; g++ {

@@ -66,6 +66,8 @@ func (p *Plan) Kernels() []preproc.KernelSpec {
 }
 
 // TotalSoloLatency sums the solo latency of every fused kernel.
+//
+//rap:unit return us
 func (p *Plan) TotalSoloLatency() float64 {
 	t := 0.0
 	for _, s := range p.Steps {

@@ -39,7 +39,7 @@ import (
 // horizontal fusion amortizes (§2.3 of the paper: "sequentially invoking
 // small input preprocessing kernels ... significant kernel launching
 // overhead").
-const DefaultLaunchOverhead = 5.0
+const DefaultLaunchOverhead = 5.0 //rap:unit us
 
 // Demand is a kernel's maximum usable fraction of each GPU resource.
 type Demand struct {
@@ -66,19 +66,22 @@ type Kernel struct {
 	Name string
 	// Work is the kernel's solo execution time in µs, excluding launch
 	// overhead. Under contention the effective time is Work/speed.
-	Work   float64
+	Work   float64 //rap:unit us
 	Demand Demand
 	// Warps is informational (it drives demand models upstream and the
 	// Figure 5(c) study); the engine itself only uses Demand.
 	Warps int
 	// LaunchOverhead, if zero, defaults to DefaultLaunchOverhead. The
 	// overhead phase is host-side and does not contend for GPU resources.
-	LaunchOverhead float64
+	LaunchOverhead float64 //rap:unit us
 	// Tag labels the kernel for utilization attribution ("train",
 	// "preproc", ...).
 	Tag string
 }
 
+// overhead resolves the kernel's effective launch overhead.
+//
+//rap:unit return us
 func (k Kernel) overhead() float64 {
 	if k.LaunchOverhead > 0 {
 		return k.LaunchOverhead
@@ -90,6 +93,8 @@ func (k Kernel) overhead() float64 {
 }
 
 // SoloLatency returns the kernel's uncontended latency.
+//
+//rap:unit return us
 func (k Kernel) SoloLatency() float64 { return k.overhead() + k.Work }
 
 // SharePolicy selects how co-running kernels split an oversubscribed
@@ -122,15 +127,15 @@ type ClusterConfig struct {
 	NumGPUs int
 	// LinkGBs is the per-GPU NVLink bandwidth in GB/s (default 300,
 	// NVSwitch-class).
-	LinkGBs float64
+	LinkGBs float64 //rap:unit GB/s
 	// CopyGBs is the per-GPU host-to-device copy bandwidth in GB/s
 	// (default 25, PCIe 4-class).
-	CopyGBs float64
+	CopyGBs float64 //rap:unit GB/s
 	// DramGBs is the per-GPU DRAM bandwidth in GB/s used to charge
 	// device-local copies (default 1555, A100 HBM2-class). Kernel MemBW
 	// demands stay fractional; this converts same-GPU transfer bytes
 	// into occupancy time on that fraction scale.
-	DramGBs float64
+	DramGBs float64 //rap:unit GB/s
 	// HostCores is the size of the host CPU pool available to CPU ops,
 	// expressed as schedulable workers (default 64).
 	HostCores int
@@ -233,16 +238,18 @@ type OpResult struct {
 	Name  string
 	Tag   string
 	GPU   int
-	Start float64
-	End   float64
+	Start float64 //rap:unit us
+	End   float64 //rap:unit us
 }
 
 // Latency is the op's wall time.
+//
+//rap:unit return us
 func (r OpResult) Latency() float64 { return r.End - r.Start }
 
 // UtilSegment is a span of time with constant per-GPU utilization.
 type UtilSegment struct {
-	Start, End float64
+	Start, End float64 //rap:unit us
 	SM, MemBW  float64 // granted utilization in [0,1]
 	// TagSM attributes SM utilization by kernel tag.
 	TagSM map[string]float64
@@ -251,7 +258,7 @@ type UtilSegment struct {
 // Result is the outcome of Sim.Run.
 type Result struct {
 	Ops      []OpResult
-	Makespan float64
+	Makespan float64 //rap:unit us
 	// Util[g] is the utilization timeline of GPU g.
 	Util [][]UtilSegment
 	// HostUtil is the host CPU pool's utilization timeline.

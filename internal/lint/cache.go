@@ -16,7 +16,14 @@ import (
 // (When the analyzed module is this repository itself, the content hash
 // of internal/lint is mixed into the salt as well, so editing the
 // analyzers invalidates the cache automatically.)
-const lintVersion = "2"
+//
+// The deep content hash also keys the v3 SSA value-flow facts: a
+// package's //rap:unit annotations live in its source bytes and its
+// interprocedural dimension facts only ever depend on the package plus
+// its dependency closure — exactly what the hash covers — so a cache
+// hit is a proof that re-running dimcheck/floatreduce would reproduce
+// the stored findings, and warm runs skip SSA construction entirely.
+const lintVersion = "3"
 
 // cacheEntry is one package's persisted analysis result. Findings
 // exclude the whole-run unusedignore check (recomputed every run);

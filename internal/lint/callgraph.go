@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // deterministicDirective declares (in a function's doc comment) that
@@ -72,6 +73,11 @@ type Program struct {
 	// misplacedDet lists //rap:deterministic comments that are not the
 	// doc comment of a function declaration, per package path.
 	misplacedDet map[string][]token.Pos
+
+	// dim is the v3 SSA value-flow layer (see ssa.go), built lazily by
+	// the first dimcheck pass — fully cache-warm runs never pay for it.
+	dimOnce sync.Once
+	dim     *dimFacts
 }
 
 // NewProgram joins type-checked packages into a Program, building the

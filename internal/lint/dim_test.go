@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnitRoundTrip: parseUnit(u.String()) must reproduce u for every
+// unit shape the annotations and derivations produce — the canonical
+// rendering is itself a valid //rap:unit expression.
+func TestUnitRoundTrip(t *testing.T) {
+	exprs := []string{
+		"us", "ms", "ns", "s",
+		"B", "bytes", "MB", "GB", "GiB",
+		"1", "frac", "ratio",
+		"GB/s", "B/us", "Gb/s", "elem/us", "flop/us",
+		"B*elem/s", "s^2", "1/s", "B^2/s^2",
+		"GBps", "Mbps",
+	}
+	for _, e := range exprs {
+		u, err := parseUnit(e)
+		if err != nil {
+			t.Fatalf("parseUnit(%q): %v", e, err)
+		}
+		rt, err := parseUnit(u.String())
+		if err != nil {
+			t.Fatalf("parseUnit(%q.String()=%q): %v", e, u, err)
+		}
+		if !rt.equal(u) {
+			t.Errorf("round trip of %q: %q != %q", e, rt, u)
+		}
+	}
+	for _, bad := range []string{"", "parsecs", "B/s/s", "B^0", "us banana extra"} {
+		if _, err := parseUnit(bad); err == nil {
+			t.Errorf("parseUnit(%q) should fail", bad)
+		}
+	}
+}
+
+// TestUnitAlgebra: mul/div derive the expected compound units and
+// additive compatibility is exact.
+func TestUnitAlgebra(t *testing.T) {
+	mustParse := func(s string) unit {
+		t.Helper()
+		u, err := parseUnit(s)
+		if err != nil {
+			t.Fatalf("parseUnit(%q): %v", s, err)
+		}
+		return u
+	}
+	cases := []struct {
+		got  unit
+		want string
+	}{
+		{mustParse("B").div(mustParse("s")), "B/s"},
+		{mustParse("B").div(mustParse("B/us")), "us"},
+		{mustParse("flop").div(mustParse("flop/us")), "us"},
+		{mustParse("1").mul(mustParse("us")), "us"},
+		{mustParse("GB/s").mul(mustParse("s")), "GB"},
+		{mustParse("us").div(mustParse("us")), "1"},
+	}
+	for _, c := range cases {
+		if !c.got.equal(mustParse(c.want)) {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+	if mustParse("MB").equal(mustParse("GB")) {
+		t.Error("MB and GB must not be additively compatible")
+	}
+	if mustParse("B").equal(mustParse("B/s")) {
+		t.Error("B and B/s must not be additively compatible")
+	}
+}
+
+// TestDimCheckLocal: annotation-seeded mismatches in one suffix-free
+// package — every finding exists only because of //rap:unit.
+func TestDimCheckLocal(t *testing.T) {
+	pkg, wants := loadFixture(t, filepath.Join("testdata", "src", "dimcheck_local"), "rap/internal/dimfix")
+	if len(wants) == 0 {
+		t.Fatal("fixture carries no want expectations")
+	}
+	var findings []Finding
+	RunPackage(pkg, []*Analyzer{DimCheck}, &findings)
+	SortFindings(findings)
+	matchWants(t, findings, wants)
+}
+
+// TestFloatReduce: nondeterministic float accumulations are findings;
+// the deterministic shapes (keyed element-wise updates, per-worker
+// partials, slice-order merges) stay silent.
+func TestFloatReduce(t *testing.T) {
+	pkg, wants := loadFixture(t, filepath.Join("testdata", "src", "floatreduce"), "rap/internal/redfix")
+	if len(wants) == 0 {
+		t.Fatal("fixture carries no want expectations")
+	}
+	var findings []Finding
+	RunPackage(pkg, []*Analyzer{FloatReduce}, &findings)
+	SortFindings(findings)
+	matchWants(t, findings, wants)
+}
+
+// TestDimFlowCrossPackage is the v2-blindness proof: a byte-annotated
+// value flows through a suffix-free local into another package's
+// µs-annotated parameter. The whole v2 suite (name heuristics
+// included) stays silent over both packages; dimcheck pins the call
+// site and carries the example flow path from the seed annotation to
+// the argument.
+func TestDimFlowCrossPackage(t *testing.T) {
+	pkgs, wants := loadProgram(t, []fixtureSpec{
+		{dir: "dimflow_lib", path: "rap/internal/dimlib"},
+		{dir: "dimflow_caller", path: "rap/internal/dimcaller"},
+	})
+	if len(wants) == 0 {
+		t.Fatal("fixture carries no want expectations")
+	}
+	prog := NewProgram(pkgs)
+
+	var v2 []Finding
+	for _, pkg := range pkgs {
+		prog.RunPackage(pkg, V2(), &v2)
+	}
+	if len(v2) != 0 {
+		t.Fatalf("the v2 suite must be blind to the cross-package dimension flow, got %v", v2)
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		prog.RunPackage(pkg, []*Analyzer{DimCheck}, &findings)
+	}
+	SortFindings(findings)
+	matchWants(t, findings, wants)
+	for _, f := range findings {
+		for _, part := range []string{
+			`//rap:unit bytes on "Payload"`, // the seed (canonical spelling)
+			`assigned to "total"`,       // the intermediate def edge
+			"annotation at pool.go:",    // the violated contract
+		} {
+			if !strings.Contains(f.Message, part) {
+				t.Errorf("finding should carry the flow path element %q, got: %v", part, f)
+			}
+		}
+	}
+}
+
+// TestDimCheckSubsumesUnitMix: dimcheck's weak name seeds reproduce
+// every finding of the retired v1 unitmix analyzer on its own fixture.
+// The one extra finding is the fixture's `//lint:ignore unitmix` case:
+// the suppression names the old analyzer, so dimcheck (correctly)
+// still reports it.
+func TestDimCheckSubsumesUnitMix(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "unitmix")
+	pkg, wants := loadFixture(t, dir, "rap/internal/unitfix")
+	if len(wants) == 0 {
+		t.Fatal("unitmix fixture carries no want expectations")
+	}
+
+	// The line after the //lint:ignore unitmix directive is the only
+	// place dimcheck may report beyond the unitmix wants.
+	var allowedFile string
+	allowedLine := -1
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, "//lint:ignore unitmix") {
+				allowedFile, allowedLine = path, i+2
+			}
+		}
+	}
+	if allowedLine < 0 {
+		t.Fatal("unitmix fixture lost its //lint:ignore unitmix case")
+	}
+
+	var findings []Finding
+	RunPackage(pkg, []*Analyzer{DimCheck}, &findings)
+	SortFindings(findings)
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == f.Pos.Filename && w.line == f.Pos.Line && strings.Contains(f.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok && !(f.Pos.Filename == allowedFile && f.Pos.Line == allowedLine) {
+			t.Errorf("finding beyond the unitmix set: %v", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("dimcheck misses the unitmix finding at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// TestUnitDirectiveErrors: malformed and stray //rap:unit directives
+// are findings, not silent no-ops.
+func TestUnitDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		name, src, substr string
+	}{
+		{"stray in body", `package p
+
+func f() float64 {
+	//rap:unit us
+	return 1
+}
+`, "must annotate"},
+		{"unknown atom", `package p
+
+type T struct {
+	F float64 //rap:unit parsecs
+}
+`, "unknown unit atom"},
+		{"bad func target", `package p
+
+// f frobs.
+//
+//rap:unit nosuch us
+func f(x float64) float64 { return x }
+`, "names no parameter or result"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings := checkSource(t, "rap/internal/inline", tc.src, []*Analyzer{DimCheck})
+			if len(findings) != 1 || !strings.Contains(findings[0].Message, tc.substr) {
+				t.Fatalf("got %v, want exactly one finding containing %q", findings, tc.substr)
+			}
+		})
+	}
+}
+
+// TestAnnotationBeatsSuffix: a //rap:unit annotation overrides the
+// name-suffix guess on the same value — annotations are the strong
+// seed, names the weak one.
+func TestAnnotationBeatsSuffix(t *testing.T) {
+	findings := checkSource(t, "rap/internal/inline", `package p
+
+// elapsedMB is, despite its suffix, a duration.
+var elapsedMB = 0.0 //rap:unit us
+
+// windowUs is a duration by suffix and by nature.
+var windowUs = 1.0
+
+func sum() float64 {
+	return elapsedMB + windowUs
+}
+`, []*Analyzer{DimCheck})
+	if len(findings) != 0 {
+		t.Fatalf("annotation must override the MB suffix guess, got %v", findings)
+	}
+}

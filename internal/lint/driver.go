@@ -33,7 +33,11 @@ type Stats struct {
 	Load time.Duration
 	// Analyze covers the analyzer passes and the unusedignore check.
 	Analyze time.Duration
-	Total   time.Duration
+	// SSABuild is the one-time construction of the v3 value-flow facts
+	// (ssa.go), paid inside the first dimcheck pass of a run; zero on
+	// fully warm runs, which never build them.
+	SSABuild time.Duration
+	Total    time.Duration
 	// PerAnalyzer is wall time attributed to each analyzer, summed
 	// across packages (concurrent passes may sum past Analyze).
 	PerAnalyzer map[string]time.Duration
@@ -168,6 +172,7 @@ func RunWithOptions(o Options) ([]Finding, *Stats, error) {
 			}(i)
 		}
 		wg.Wait()
+		stats.SSABuild = prog.DimFactsBuildTime()
 	} else {
 		analyzeStart = timings.start()
 	}

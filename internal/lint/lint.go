@@ -56,11 +56,14 @@ type Analyzer struct {
 
 // All returns the full raplint analyzer suite. UnusedIgnore is a
 // whole-run analyzer: its Run is a no-op per package and the driver
-// performs the global check after every package has reported.
+// performs the global check after every package has reported. The
+// legacy unitmix analyzer is not in the default suite — dimcheck
+// subsumes it (opt back in with raplint's -legacy-unitmix).
 func All() []*Analyzer {
 	return []*Analyzer{
-		MapOrder, SeededRand, FloatEq, UnitMix, PanicPath,
-		Detaint, GuardedBy, GoroutineCapture, UnusedIgnore,
+		MapOrder, SeededRand, FloatEq, PanicPath,
+		Detaint, GuardedBy, GoroutineCapture,
+		DimCheck, FloatReduce, UnusedIgnore,
 	}
 }
 
@@ -69,6 +72,16 @@ func All() []*Analyzer {
 // pass can and cannot see.
 func V1() []*Analyzer {
 	return []*Analyzer{MapOrder, SeededRand, FloatEq, UnitMix, PanicPath}
+}
+
+// V2 returns the v1+v2 suite as shipped by raplint v2 (local analyzers
+// plus the whole-program call-graph layer, before SSA value flow).
+// Kept for tests that demonstrate what v2 could not see.
+func V2() []*Analyzer {
+	return []*Analyzer{
+		MapOrder, SeededRand, FloatEq, UnitMix, PanicPath,
+		Detaint, GuardedBy, GoroutineCapture,
+	}
 }
 
 // Pass carries one analyzer's view of one type-checked package.

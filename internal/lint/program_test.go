@@ -236,12 +236,18 @@ func TestCacheWarmRun(t *testing.T) {
 	if s1.CacheHits != 0 {
 		t.Fatalf("cold run should not hit the fresh cache, got %d hits", s1.CacheHits)
 	}
+	if s1.SSABuild == 0 {
+		t.Error("cold run must build the SSA value-flow facts (dimcheck ran)")
+	}
 	warm, s2, err := RunWithOptions(opts)
 	if err != nil {
 		t.Fatalf("warm run: %v", err)
 	}
 	if s2.CacheHits != s2.Packages || s2.Packages == 0 {
 		t.Fatalf("warm run should serve all %d packages from cache, got %d hits", s2.Packages, s2.CacheHits)
+	}
+	if s2.SSABuild != 0 {
+		t.Errorf("fully warm run must not construct SSA facts, spent %s building them", s2.SSABuild)
 	}
 	if len(cold) != len(warm) {
 		t.Fatalf("warm findings diverge: cold %v, warm %v", cold, warm)

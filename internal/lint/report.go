@@ -37,6 +37,7 @@ type jsonStats struct {
 	CacheHits  int              `json:"cacheHits"`
 	LoadMs     float64          `json:"loadMs"`
 	AnalyzeMs  float64          `json:"analyzeMs"`
+	SSABuildMs float64          `json:"ssaBuildMs"`
 	TotalMs    float64          `json:"totalMs"`
 	AnalyzerMs map[string]float64 `json:"analyzerMs,omitempty"`
 }
@@ -72,6 +73,7 @@ func WriteJSONReport(w io.Writer, root string, findings []Finding, stats *Stats)
 			CacheHits:  stats.CacheHits,
 			LoadMs:     float64(stats.Load.Microseconds()) / 1e3,
 			AnalyzeMs:  float64(stats.Analyze.Microseconds()) / 1e3,
+			SSABuildMs: float64(stats.SSABuild.Microseconds()) / 1e3,
 			TotalMs:    float64(stats.Total.Microseconds()) / 1e3,
 			AnalyzerMs: map[string]float64{},
 		}

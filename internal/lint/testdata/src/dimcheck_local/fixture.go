@@ -1,0 +1,56 @@
+// Package dimfix is a dimcheck fixture: //rap:unit annotations seed
+// the dimension lattice, `*`/`/` derive product and quotient units,
+// and incompatible additive flows are findings. Every identifier is
+// deliberately suffix-free so the v1 name heuristic contributes
+// nothing — the findings below exist only because of annotations.
+package dimfix
+
+// link is the shard link bandwidth.
+const link = 4.0 //rap:unit B/us
+
+// Config carries annotated quantities with unit-free names.
+type Config struct {
+	// Window is the co-run window.
+	Window float64 //rap:unit us
+	// Volume is the transfer size.
+	Volume float64 //rap:unit B
+	// Share is the SM fraction granted to the co-runner.
+	Share float64 //rap:unit 1
+}
+
+// Latency derives µs from bytes over bandwidth — compatible with the
+// annotated result.
+//
+//rap:unit return us
+func Latency(c Config) float64 {
+	return c.Volume / link // ok: B / (B/us) derives us
+}
+
+// Scaled multiplies by a dimensionless factor, preserving the unit.
+//
+//rap:unit return us
+func Scaled(c Config) float64 {
+	return c.Share * c.Window // ok: 1 * us stays us
+}
+
+// Mixed adds a time to a volume.
+func Mixed(c Config) float64 {
+	return c.Window + c.Volume // want "mixes us with bytes"
+}
+
+// Compared orders a time against a volume.
+func Compared(c Config) bool {
+	return c.Window < c.Volume // want "mixes us with bytes"
+}
+
+// Stretch flows a byte count into the annotated µs field.
+func Stretch(c *Config) {
+	c.Window = c.Volume // want "declared //rap:unit us"
+}
+
+// WrongReturn returns bytes from a µs-annotated result.
+//
+//rap:unit return us
+func WrongReturn(c Config) float64 {
+	return c.Volume // want "declared //rap:unit us"
+}

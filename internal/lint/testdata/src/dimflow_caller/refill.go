@@ -1,0 +1,20 @@
+// Package dimcaller is the caller side of the cross-package dimflow
+// fixture: a byte-dimensioned value (annotated here, suffix-free name)
+// flows through a local into dimlib's µs-annotated parameter. The v1
+// suffix heuristic sees plain names on both sides and stays silent;
+// dimcheck reports the call site with the example flow path.
+package dimcaller
+
+import "rap/internal/dimlib"
+
+// Shard is one embedding shard handoff.
+type Shard struct {
+	// Payload is the transfer size of the handoff.
+	Payload float64 //rap:unit B
+}
+
+// Refill credits the pool with the shard payload — the wrong dimension.
+func Refill(p *dimlib.Pool, s Shard) {
+	total := s.Payload
+	p.Grant(total) // want "declared //rap:unit us"
+}

@@ -1,0 +1,20 @@
+// Package dimlib is the dependency side of the cross-package dimflow
+// fixture: it exports a method whose parameter is annotated with a
+// time unit. No identifier in either package carries a unit suffix, so
+// the v1 name heuristic (and with it the whole v2 suite) has nothing
+// to seed from — only the annotation-driven value flow can connect a
+// caller's argument to this contract.
+package dimlib
+
+// Pool tracks the remaining co-run allowance of one GPU.
+type Pool struct {
+	// Budget is the remaining allowance.
+	Budget float64 //rap:unit us
+}
+
+// Grant credits the pool with extra allowance.
+//
+//rap:unit amount us
+func (p *Pool) Grant(amount float64) {
+	p.Budget += amount
+}

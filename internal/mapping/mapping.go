@@ -18,10 +18,10 @@ import (
 )
 
 // bytesPerID is the wire size of one preprocessed sparse id.
-const bytesPerID = 8
+const bytesPerID = 8 //rap:unit B
 
 // bytesPerDense is the wire size of one dense feature value.
-const bytesPerDense = 4
+const bytesPerDense = 4 //rap:unit B
 
 // Assign is one graph scheduled on one GPU with the sample share it
 // preprocesses there.
@@ -64,10 +64,10 @@ type Config struct {
 	// is PerGPUBatch × NumGPUs.
 	PerGPUBatch int
 	// LinkGBs converts communication bytes to µs in the default cost.
-	LinkGBs float64
+	LinkGBs float64 //rap:unit GB/s
 	// CapacityPerGPU is each GPU's per-iteration overlapping capacity
 	// (µs), used by the default cost function.
-	CapacityPerGPU []float64
+	CapacityPerGPU []float64 //rap:unit us
 	// Cost overrides the default work-vs-capacity cost model.
 	Cost CostFn
 	// MaxMoves bounds the RAP search (default 200).
@@ -90,6 +90,9 @@ func (c Config) validate() error {
 	return nil
 }
 
+// linkGBs returns the configured link bandwidth or its default.
+//
+//rap:unit return GB/s
 func (c Config) linkGBs() float64 {
 	if c.LinkGBs <= 0 {
 		return 300
@@ -122,6 +125,8 @@ func (c Config) costFn() CostFn {
 
 // sparseOutBytes estimates the wire size of one graph output column for
 // the given sample count.
+//
+//rap:unit return B
 func sparseOutBytes(samples int, avgListLen float64) float64 {
 	if avgListLen <= 0 {
 		avgListLen = 1
@@ -439,6 +444,8 @@ func maxOf(a, b float64) float64 {
 
 // TotalWork returns the summed preprocessing work (µs) of one GPU's
 // assignment.
+//
+//rap:unit return us
 func TotalWork(items []Assign) float64 {
 	t := 0.0
 	for _, a := range items {

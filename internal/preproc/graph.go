@@ -176,6 +176,8 @@ func (g *Graph) Specs(shape Shape) []KernelSpec {
 
 // TotalWork returns the summed solo latency of all ops (µs), the
 // sequential-execution cost of the graph.
+//
+//rap:unit return us
 func (g *Graph) TotalWork(shape Shape) float64 {
 	total := 0.0
 	for _, op := range g.Ops {
@@ -288,6 +290,8 @@ func (p *Plan) DenseCols() []string {
 }
 
 // TotalWork sums TotalWork over all graphs for a batch of the given size.
+//
+//rap:unit return us
 func (p *Plan) TotalWork(samples int) float64 {
 	total := 0.0
 	shape := p.Shape(samples)
@@ -300,6 +304,8 @@ func (p *Plan) TotalWork(samples int) float64 {
 // SaturatedWork sums the occupancy-independent work volume (µs at full
 // GPU throughput) of every op for a batch of the given size — the
 // device-neutral cost basis for the CPU baseline.
+//
+//rap:unit return us
 func (p *Plan) SaturatedWork(samples int) float64 {
 	total := 0.0
 	shape := p.Shape(samples)

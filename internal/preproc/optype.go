@@ -145,14 +145,16 @@ const (
 	// cost-factor-1 operator. Calibrated so that the preprocessing /
 	// training work ratio of Plans 0-3 matches the paper's regime (Plan 0
 	// well under one training iteration, Plan 3 approaching it).
-	baseThroughput = 2900.0
+	baseThroughput = 2900.0 //rap:unit elem/us
 	// minKernelWork is the latency floor of any kernel (µs): a couple of
 	// memory round-trips.
-	minKernelWork = 1.5
+	minKernelWork = 1.5 //rap:unit us
 )
 
 // costFactor is the per-element compute cost relative to a trivial
 // element-wise op.
+//
+//rap:unit return 1
 func (t OpType) costFactor() float64 {
 	switch t {
 	case OpFillNull:
@@ -204,10 +206,10 @@ type KernelSpec struct {
 	Name string
 	Type OpType
 	// Elements is the number of data elements the kernel touches.
-	Elements float64
+	Elements float64 //rap:unit elem
 	// ParamScale folds operator parameters (n-gram order, bucket count
 	// …) into the per-element cost.
-	ParamScale float64
+	ParamScale float64 //rap:unit 1
 	// FusedCount is the number of original operators fused into this
 	// kernel (1 = unfused).
 	FusedCount int
@@ -223,6 +225,8 @@ func (s KernelSpec) Warps() int {
 }
 
 // occupancy is the fraction of the GPU the launch can cover.
+//
+//rap:unit return 1
 func (s KernelSpec) occupancy() float64 {
 	return math.Min(1, float64(s.Warps())/warpsSaturate)
 }
@@ -233,6 +237,8 @@ func (s KernelSpec) occupancy() float64 {
 // under-utilization of fine-grained preprocessing kernels that motivates
 // horizontal fusion (§2.3) and gives resource-aware sharding its real
 // cost (a shard confined to leftover resources runs at leftover speed).
+//
+//rap:unit return us
 func (s KernelSpec) Work() float64 {
 	scale := s.ParamScale
 	if scale <= 0 {
@@ -244,6 +250,8 @@ func (s KernelSpec) Work() float64 {
 // SaturatedWork returns the execution time the kernel's element count
 // would take at full-GPU throughput — the occupancy-independent work
 // volume, used to derive CPU-side costs for the TorchArrow baseline.
+//
+//rap:unit return us
 func (s KernelSpec) SaturatedWork() float64 {
 	scale := s.ParamScale
 	if scale <= 0 {
@@ -265,6 +273,8 @@ func (s KernelSpec) Demand() gpusim.Demand {
 }
 
 // SoloLatency returns launch overhead + work.
+//
+//rap:unit return us
 func (s KernelSpec) SoloLatency() float64 {
 	return gpusim.DefaultLaunchOverhead + s.Work()
 }

@@ -15,8 +15,8 @@ type chromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
 	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur"`
+	Ts   float64           `json:"ts"`  //rap:unit us
+	Dur  float64           `json:"dur"` //rap:unit us
 	PID  int               `json:"pid"`
 	TID  int               `json:"tid"`
 	Args map[string]string `json:"args,omitempty"`
@@ -50,7 +50,7 @@ type Span struct {
 	Name       string
 	Cat        string
 	GPU        int
-	Start, End float64
+	Start, End float64 //rap:unit us
 }
 
 // WriteChromeTrace renders the simulation result as a Chrome trace-event

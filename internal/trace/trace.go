@@ -63,6 +63,8 @@ type UtilSummary struct {
 
 // Summarize computes the utilization summary of GPU g over [0, upTo]
 // (upTo <= 0 = makespan). An out-of-range g yields a zero summary.
+//
+//rap:unit upTo us
 func Summarize(res *gpusim.Result, g int, upTo float64) UtilSummary {
 	if g < 0 || g >= len(res.Util) {
 		return UtilSummary{TagSM: map[string]float64{}}
@@ -96,6 +98,8 @@ func Summarize(res *gpusim.Result, g int, upTo float64) UtilSummary {
 
 // MeanSummary averages summaries across GPUs. A non-positive numGPUs
 // yields an empty summary instead of NaNs.
+//
+//rap:unit upTo us
 func MeanSummary(res *gpusim.Result, numGPUs int, upTo float64) UtilSummary {
 	agg := UtilSummary{TagSM: map[string]float64{}}
 	if numGPUs <= 0 {

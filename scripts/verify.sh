@@ -14,6 +14,13 @@ echo "== go build"
 go build ./...
 echo "== raplint"
 go run ./cmd/raplint -timing -json lint-report.json ./...
+# Belt and braces: raplint already exits nonzero on findings, but the
+# report must also record zero non-suppressed findings — this catches a
+# future exit-code regression in the driver itself.
+grep -q '"findings": \[\]' lint-report.json || {
+	echo "verify: lint-report.json records non-suppressed findings" >&2
+	exit 1
+}
 echo "== go test -race"
 go test -race ./...
 echo "== planner-bench smoke"
