@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +37,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	engineBench := flag.Bool("engine-bench", false, "benchmark the gpusim engine and exit")
 	benchOut := flag.String("bench-out", "BENCH_engine.json", "output path for -engine-bench results")
+	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated shard counts for the -engine-bench scaling series")
+	shardSmoke := flag.Bool("shard-smoke", false, "quick sharded-vs-sequential digest equivalence check and exit (used by verify.sh)")
+	chaosShards := flag.Int("chaos-shards", 0, "simulator engine shards for -chaos (0 = sequential engine)")
 	chaosMode := flag.Bool("chaos", false, "run the perturbation-severity sweep and exit")
 	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output path for the -chaos JSON report")
 	chaosSeed := flag.Int64("chaos-seed", 7, "seed for -chaos perturbation plans")
@@ -45,8 +50,21 @@ func main() {
 	plannerOut := flag.String("planner-out", "BENCH_planner.json", "output path for -planner-bench results")
 	flag.Parse()
 
+	if *shardSmoke {
+		if err := runShardSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: shard-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *engineBench {
-		if err := runEngineBench(*benchOut); err != nil {
+		shards, err := parseShards(*shardsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: engine-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runEngineBench(*benchOut, shards); err != nil {
 			fmt.Fprintf(os.Stderr, "rapbench: engine-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -66,7 +84,8 @@ func main() {
 		if *quick {
 			*chaosGPUs = 2
 		}
-		r, err := experiments.ChaosSweep(*chaosPlan, *chaosGPUs, severities, *chaosSeed)
+		r, err := experiments.ChaosSweepEngine(*chaosPlan, *chaosGPUs, severities, *chaosSeed,
+			gpusim.EngineOptions{Shards: *chaosShards})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rapbench: chaos: %v\n", err)
 			os.Exit(1)
@@ -198,26 +217,45 @@ func main() {
 	}
 }
 
-// runEngineBench times the gpusim engine on the canonical benchmark DAG
-// (the same workload as BenchmarkEngine) and writes the result to path
-// as JSON, for cross-commit regression tracking.
-func runEngineBench(path string) error {
-	const (
-		warmupRuns = 3
-		timedRuns  = 30
-	)
-	for i := 0; i < warmupRuns; i++ {
-		if _, err := gpusim.NewBenchmarkSim().Run(); err != nil {
-			return err
+// parseShards parses the -shards flag ("1,2,4,8") into shard counts.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -shards list")
+	}
+	return out, nil
+}
+
+// timeRuns runs the DAG built by mk under opt (warmups first), returning
+// the mean and best wall time plus the final run's Result.
+func timeRuns(mk func() *gpusim.Sim, opt gpusim.EngineOptions, warmup, timed int) (mean, best time.Duration, last *gpusim.Result, err error) {
+	for i := 0; i < warmup; i++ {
+		s := mk()
+		s.SetEngineOptions(opt)
+		if _, err = s.Run(); err != nil {
+			return 0, 0, nil, err
 		}
 	}
 	var total time.Duration
-	best := time.Duration(1<<63 - 1)
-	for i := 0; i < timedRuns; i++ {
-		s := gpusim.NewBenchmarkSim()
+	best = time.Duration(1<<63 - 1)
+	for i := 0; i < timed; i++ {
+		s := mk()
+		s.SetEngineOptions(opt)
 		start := time.Now()
-		if _, err := s.Run(); err != nil {
-			return err
+		last, err = s.Run()
+		if err != nil {
+			return 0, 0, nil, err
 		}
 		d := time.Since(start)
 		total += d
@@ -225,22 +263,102 @@ func runEngineBench(path string) error {
 			best = d
 		}
 	}
+	return total / time.Duration(timed), best, last, nil
+}
+
+// shardPoint is one entry of the ns/event-vs-shards scaling series.
+type shardPoint struct {
+	Shards     int     `json:"shards"`
+	NsPerRun   int64   `json:"ns_per_run"`
+	BestNs     int64   `json:"best_ns"`
+	Events     int     `json:"events"`
+	NsPerEvent float64 `json:"ns_per_event"`
+	// Speedup is sequential mean / this mean on the same DAG.
+	Speedup float64 `json:"speedup_vs_sequential"`
+	// DigestMatch records the in-run bit-identity self-check against
+	// the sequential reference digest.
+	DigestMatch bool `json:"digest_match"`
+}
+
+// runEngineBench times the gpusim engine on the canonical benchmark DAG
+// (the same workload as BenchmarkEngine) plus the ns/event-vs-shards
+// scaling series on the shard benchmark DAG, and writes the result to
+// path as JSON, for cross-commit regression tracking. The series is
+// timed with the raced fallback off (pure sharded path) so the numbers
+// reflect the parallel engine, not engine racing; GOMAXPROCS is
+// recorded because shard scaling is bounded by physical cores — on a
+// single-core host every shard count times the same serial work.
+func runEngineBench(path string, shards []int) error {
+	const (
+		warmupRuns      = 3
+		timedRuns       = 30
+		shardWarmupRuns = 2
+		shardTimedRuns  = 10
+	)
+	mean, best, _, err := timeRuns(gpusim.NewBenchmarkSim, gpusim.EngineOptions{}, warmupRuns, timedRuns)
+	if err != nil {
+		return err
+	}
+
+	// Sequential reference for the scaling series: digest + timing on
+	// the shard DAG.
+	seqMean, seqBest, seqRes, err := timeRuns(gpusim.NewShardBenchmarkSim, gpusim.EngineOptions{}, shardWarmupRuns, shardTimedRuns)
+	if err != nil {
+		return err
+	}
+	seqDigest := gpusim.ResultDigest(seqRes)
+
+	var series []shardPoint
+	for _, n := range shards {
+		p := shardPoint{Shards: n}
+		if n == 1 {
+			p.NsPerRun, p.BestNs = seqMean.Nanoseconds(), seqBest.Nanoseconds()
+			p.Events, p.Speedup, p.DigestMatch = seqRes.Events, 1, true
+		} else {
+			m, b, res, err := timeRuns(gpusim.NewShardBenchmarkSim, gpusim.EngineOptions{Shards: n, NoRace: true}, shardWarmupRuns, shardTimedRuns)
+			if err != nil {
+				return err
+			}
+			p.NsPerRun, p.BestNs = m.Nanoseconds(), b.Nanoseconds()
+			p.Events = res.Events
+			p.DigestMatch = gpusim.ResultDigest(res) == seqDigest
+			if m > 0 {
+				p.Speedup = float64(seqMean) / float64(m)
+			}
+		}
+		if p.Events > 0 {
+			p.NsPerEvent = float64(p.NsPerRun) / float64(p.Events)
+		}
+		series = append(series, p)
+		if !p.DigestMatch {
+			return fmt.Errorf("shards=%d: result digest diverged from sequential", p.Shards)
+		}
+	}
+
 	report := struct {
-		Name     string `json:"name"`
-		Runs     int    `json:"runs"`
-		NsPerOp  int64  `json:"ns_per_op"`
-		BestNs   int64  `json:"best_ns"`
-		Kernels  int    `json:"kernels"`
-		GPUs     int    `json:"gpus"`
-		Executed string `json:"executed"`
+		Name         string       `json:"name"`
+		Runs         int          `json:"runs"`
+		NsPerOp      int64        `json:"ns_per_op"`
+		BestNs       int64        `json:"best_ns"`
+		Kernels      int          `json:"kernels"`
+		GPUs         int          `json:"gpus"`
+		GoMaxProcs   int          `json:"gomaxprocs"`
+		ShardKernels int          `json:"shard_kernels"`
+		ShardRuns    int          `json:"shard_runs"`
+		ShardSeries  []shardPoint `json:"shard_series"`
+		Executed     string       `json:"executed"`
 	}{
-		Name:     "BenchmarkEngine",
-		Runs:     timedRuns,
-		NsPerOp:  total.Nanoseconds() / timedRuns,
-		BestNs:   best.Nanoseconds(),
-		Kernels:  gpusim.BenchKernels,
-		GPUs:     gpusim.BenchGPUs,
-		Executed: time.Now().UTC().Format(time.RFC3339),
+		Name:         "BenchmarkEngine",
+		Runs:         timedRuns,
+		NsPerOp:      mean.Nanoseconds(),
+		BestNs:       best.Nanoseconds(),
+		Kernels:      gpusim.BenchKernels,
+		GPUs:         gpusim.BenchGPUs,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		ShardKernels: gpusim.ShardBenchKernels,
+		ShardRuns:    shardTimedRuns,
+		ShardSeries:  series,
+		Executed:     time.Now().UTC().Format(time.RFC3339),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -250,8 +368,39 @@ func runEngineBench(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("engine-bench: %s/op (best %s) over %d runs -> %s\n",
-		time.Duration(report.NsPerOp), best, timedRuns, path)
+	fmt.Printf("engine-bench: %s/op (best %s) over %d runs, gomaxprocs %d -> %s\n",
+		mean, best, timedRuns, report.GoMaxProcs, path)
+	for _, p := range series {
+		fmt.Printf("  shards %d: %s/run, %.0f ns/event, %.2fx vs sequential, digest ok\n",
+			p.Shards, time.Duration(p.NsPerRun), p.NsPerEvent, p.Speedup)
+	}
+	return nil
+}
+
+// runShardSmoke is the verify.sh fast gate: one sharded run of the
+// shard benchmark DAG must digest bit-identically to one sequential
+// run. It exits non-zero on any drift so tier-1 fails before the full
+// golden matrix would.
+func runShardSmoke() error {
+	seq := gpusim.NewShardBenchmarkSim()
+	seqRes, err := seq.Run()
+	if err != nil {
+		return err
+	}
+	sh := gpusim.NewShardBenchmarkSim()
+	sh.SetEngineOptions(gpusim.EngineOptions{Shards: 2, NoRace: true})
+	shRes, err := sh.Run()
+	if err != nil {
+		return err
+	}
+	if seqRes.Events != shRes.Events {
+		return fmt.Errorf("event count diverged: sequential %d, sharded %d", seqRes.Events, shRes.Events)
+	}
+	a, b := gpusim.ResultDigest(seqRes), gpusim.ResultDigest(shRes)
+	if a != b {
+		return fmt.Errorf("digest diverged: sequential %s, sharded %s", a[:16], b[:16])
+	}
+	fmt.Printf("shard-smoke: 2-shard digest %s matches sequential (%d events)\n", a[:16], seqRes.Events)
 	return nil
 }
 

@@ -74,11 +74,20 @@ func Run(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, iterations i
 // conditions hit RAP and the baselines identically. A nil plan makes
 // this Run.
 func RunChaos(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, iterations int, cp *chaos.Plan) (RunResult, error) {
+	return RunEngine(sys, w, cluster, iterations, cp, gpusim.EngineOptions{})
+}
+
+// RunEngine is RunChaos with an explicit simulator engine selection:
+// engine.Shards > 1 opts the system's pipeline simulation into the
+// sharded parallel event engine. Sharded results are bit-identical to
+// sequential ones, so every measurement is unchanged — the knob only
+// trades wall-clock time on multi-core hosts.
+func RunEngine(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, iterations int, cp *chaos.Plan, engine gpusim.EngineOptions) (RunResult, error) {
 	cluster = cluster.WithDefaults()
 	switch sys {
 	case SystemRAP:
 		cluster.Policy = gpusim.FairShare
-		return runFramework(sys, w, cluster, iterations, rap.BuildOptions{}, cp)
+		return runFramework(sys, w, cluster, iterations, rap.BuildOptions{Engine: engine}, cp)
 	case SystemSequential:
 		cluster.Policy = gpusim.FairShare
 		return runFramework(sys, w, cluster, iterations, rap.BuildOptions{
@@ -87,6 +96,7 @@ func RunChaos(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, iterati
 			NoInterleave:      true,
 			NaiveSchedule:     true,
 			SequentialPreproc: true,
+			Engine:            engine,
 		}, cp)
 	case SystemStream:
 		cluster.Policy = gpusim.PrioritySpace
@@ -98,6 +108,7 @@ func RunChaos(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, iterati
 			// Low-priority stream: training preempts, preprocessing
 			// only gets leftovers.
 			PreprocPriority: 0,
+			Engine:          engine,
 		}, cp)
 	case SystemMPS:
 		cluster.Policy = gpusim.FairShare
@@ -108,11 +119,12 @@ func RunChaos(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, iterati
 			NaiveSchedule: true,
 			// MPS: both processes share the GPU on equal footing.
 			PreprocPriority: 1,
+			Engine:          engine,
 		}, cp)
 	case SystemTorchArrow:
-		return runTorchArrow(w, cluster, iterations, cp)
+		return runTorchArrow(w, cluster, iterations, cp, engine)
 	case SystemIdeal:
-		return runIdeal(w, cluster, iterations, cp)
+		return runIdeal(w, cluster, iterations, cp, engine)
 	default:
 		return RunResult{}, fmt.Errorf("baselines: unknown system %q", sys)
 	}
@@ -134,7 +146,7 @@ func runFramework(sys System, w *rap.Workload, cluster gpusim.ClusterConfig, ite
 // runTorchArrow replaces GPU preprocessing with host-CPU workers: each
 // GPU's batch is preprocessed by TorchArrowWorkers CPU workers drawn
 // from the shared host pool — the pool, not the GPUs, bounds scaling.
-func runTorchArrow(w *rap.Workload, cluster gpusim.ClusterConfig, iterations int, cp *chaos.Plan) (RunResult, error) {
+func runTorchArrow(w *rap.Workload, cluster gpusim.ClusterConfig, iterations int, cp *chaos.Plan, engine gpusim.EngineOptions) (RunResult, error) {
 	n := cluster.NumGPUs
 	pl := placementFor(w, n)
 	gpuWorkUs := w.Plan.SaturatedWork(w.Model.BatchSize)
@@ -150,6 +162,7 @@ func runTorchArrow(w *rap.Workload, cluster gpusim.ClusterConfig, iterations int
 	stats, err := sched.BuildAndRun(cluster, w.Model, pl, work, sched.PipelineOptions{
 		Iterations: iterations,
 		Chaos:      cp,
+		Engine:     engine,
 	})
 	if err != nil {
 		return RunResult{}, err
@@ -158,12 +171,13 @@ func runTorchArrow(w *rap.Workload, cluster gpusim.ClusterConfig, iterations int
 }
 
 // runIdeal trains with no preprocessing at all.
-func runIdeal(w *rap.Workload, cluster gpusim.ClusterConfig, iterations int, cp *chaos.Plan) (RunResult, error) {
+func runIdeal(w *rap.Workload, cluster gpusim.ClusterConfig, iterations int, cp *chaos.Plan, engine gpusim.EngineOptions) (RunResult, error) {
 	n := cluster.NumGPUs
 	pl := placementFor(w, n)
 	stats, err := sched.BuildAndRun(cluster, w.Model, pl, make([]sched.GPUWork, n), sched.PipelineOptions{
 		Iterations: iterations,
 		Chaos:      cp,
+		Engine:     engine,
 	})
 	if err != nil {
 		return RunResult{}, err

@@ -154,7 +154,7 @@ func randomSpec(ty preproc.OpType, rng *rand.Rand) preproc.KernelSpec {
 		k := 2 + rng.Intn(6)
 		fused := spec
 		for i := 1; i < k; i++ {
-			fused = fused.Fuse(spec)
+			fused = fused.MustFuse(spec)
 		}
 		spec = fused
 	}

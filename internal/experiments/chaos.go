@@ -7,6 +7,7 @@ import (
 
 	"rap/internal/baselines"
 	"rap/internal/chaos"
+	"rap/internal/gpusim"
 	"rap/internal/trace"
 )
 
@@ -56,6 +57,15 @@ type ChaosResult struct {
 // and applied to every system identically, so rows are comparable: the
 // only varying factor is the sharing strategy.
 func ChaosSweep(plan, gpus int, severities []float64, seed int64) (*ChaosResult, error) {
+	return ChaosSweepEngine(plan, gpus, severities, seed, gpusim.EngineOptions{})
+}
+
+// ChaosSweepEngine is ChaosSweep with an explicit simulator engine
+// selection (engine.Shards > 1 opts every system's simulation into the
+// sharded parallel event engine). The sweep's numbers are identical
+// either way — sharded results are bit-identical — so the knob only
+// changes how long the sweep takes on multi-core hosts.
+func ChaosSweepEngine(plan, gpus int, severities []float64, seed int64, engine gpusim.EngineOptions) (*ChaosResult, error) {
 	if len(severities) == 0 {
 		severities = []float64{0.25, 0.5, 0.75}
 	}
@@ -72,7 +82,7 @@ func ChaosSweep(plan, gpus int, severities []float64, seed int64) (*ChaosResult,
 	// the horizon perturbation windows must cover.
 	base := map[baselines.System]float64{}
 	for _, sys := range ChaosSystems() {
-		r, err := baselines.RunChaos(sys, w, cluster(gpus), Iterations, nil)
+		r, err := baselines.RunEngine(sys, w, cluster(gpus), Iterations, nil, engine)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +103,7 @@ func ChaosSweep(plan, gpus int, severities []float64, seed int64) (*ChaosResult,
 		}
 		res.Plans = append(res.Plans, *cp)
 		for _, sys := range ChaosSystems() {
-			r, err := baselines.RunChaos(sys, w, cluster(gpus), Iterations, cp)
+			r, err := baselines.RunEngine(sys, w, cluster(gpus), Iterations, cp, engine)
 			if err != nil {
 				return nil, err
 			}

@@ -248,7 +248,7 @@ func PlanFusionScaled(items []ScaledGraph, opts Options) (*Plan, error) {
 			if j == 0 {
 				fused = spec
 			} else {
-				fused = fused.Fuse(spec)
+				fused = fused.MustFuse(spec)
 			}
 			ids = append(ids, op.ID())
 		}

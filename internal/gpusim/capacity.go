@@ -84,9 +84,24 @@ type capWindow struct {
 }
 
 // AddCapacityWindow scales the capacity of one resource by scale (in
-// [0,1]) during [t0, t1) µs of simulated time. Overlapping windows on
-// the same resource multiply. The gpu index is ignored for ResHostCPU.
-// Windows may be added at any point before Run.
+// [0,1]) during [t0, t1) µs of simulated time. The gpu index is
+// ignored for ResHostCPU. Windows may be added at any point before Run.
+//
+// Degenerate inputs have defined semantics rather than undefined
+// engine behavior:
+//
+//   - A negative t0 is clamped to 0 (the simulation starts at 0).
+//   - Zero-length (t0 == t1) and inverted (t1 < t0) windows are
+//     rejected with an error, as is any NaN endpoint (the `!(t1 > t0)`
+//     form is deliberate: NaN fails every comparison).
+//   - A NaN, negative, or >1 scale is rejected; scale 1.0 is accepted
+//     and provably inert (it compiles to no step events at all).
+//   - Overlapping windows on the same (resource, GPU) multiply, in
+//     insertion order, with the product clamped to [0,1]. The product
+//     is evaluated when windows are compiled to the step function —
+//     before any engine runs — so the semantics are byte-identical
+//     under the sequential, sharded, and raced engines (the sharded
+//     commit phase applies the same precompiled steps serially).
 func (s *Sim) AddCapacityWindow(rc ResourceClass, gpu int, t0, t1, scale float64) error {
 	kind, ok := rc.kind()
 	if !ok {

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 const (
@@ -169,11 +170,22 @@ type engine struct {
 	accSM    []float64
 	accBW    []float64
 	tagAcc   [][]tagGrant
-	hostCPU  float64
+
+	// stop, when non-nil, is polled once per event; a set flag aborts
+	// the run with errEngineCancelled. It is how the raced-engine
+	// coordinator cancels the losing engine (see engine_sharded.go).
+	stop *atomic.Bool
 }
 
+// errEngineCancelled is returned by an engine whose stop flag was set.
+// It never escapes Run: the race coordinator only cancels an engine
+// after the other one has already produced the (identical) result.
+var errEngineCancelled = fmt.Errorf("gpusim: engine cancelled")
+
 // Run executes the accumulated op DAG and returns the timeline. A Sim is
-// single-use: Run may only be called once.
+// single-use: Run may only be called once. The engine configured via
+// SetEngineOptions never changes the Result — sequential, sharded, and
+// raced execution are all bit-identical (see engine_sharded.go).
 //
 //rap:deterministic
 func (s *Sim) Run() (*Result, error) {
@@ -181,6 +193,9 @@ func (s *Sim) Run() (*Result, error) {
 		return nil, fmt.Errorf("gpusim: Sim.Run called twice")
 	}
 	s.ran = true
+	if s.addErr != nil {
+		return nil, s.addErr
+	}
 
 	// Wire the DAG.
 	for _, o := range s.ops {
@@ -201,8 +216,7 @@ func (s *Sim) Run() (*Result, error) {
 		}
 	}
 
-	e := newEngine(s)
-	return e.run()
+	return s.execute()
 }
 
 func newEngine(s *Sim) *engine {
@@ -387,9 +401,13 @@ func (e *engine) run() (*Result, error) {
 	}
 
 	for done < len(s.ops) {
+		if e.stop != nil && e.stop.Load() {
+			return nil, errEngineCancelled
+		}
 		if len(e.running) == 0 {
 			return nil, fmt.Errorf("gpusim: deadlock — %d ops pending with no runnable op (dependency cycle?)", len(s.ops)-done)
 		}
+		res.Events++
 
 		// Refresh factors of resources whose running set changed, then
 		// the speeds of (only) the ops those resources serve. Two
@@ -510,8 +528,23 @@ func (e *engine) recordUtil(res *Result, t0, t1 float64) {
 		e.accBW[g] = 0
 		e.tagAcc[g] = e.tagAcc[g][:0]
 	}
+	hostCPU := e.accumUtil(e.running, 0, e.accSM, e.accBW, e.tagAcc)
+	flushHostSegment(res, t0, t1, hostCPU)
+	for g := 0; g < e.numGPUs; g++ {
+		flushGPUSegment(res, g, t0, t1, e.accSM[g], e.accBW[g], e.tagAcc[g])
+	}
+}
+
+// accumUtil folds the granted utilization of the running-phase ops into
+// the accumulators, which cover GPUs [lo, lo+len(accSM)). The caller
+// guarantees every GPU-resident op in the list falls inside that window
+// (SM and bandwidth demands are always on the op's own GPU). Shared by
+// the sequential engine (whole-cluster window) and each shard (its own
+// GPU range): the ops arrive in startSeq order either way, so the
+// accumulation order — and therefore every float bit — matches.
+func (e *engine) accumUtil(running []*op, lo int, accSM, accBW []float64, tagAcc [][]tagGrant) float64 {
 	hostCPU := 0.0
-	for _, o := range e.running {
+	for _, o := range running {
 		if o.state != opRunning {
 			continue
 		}
@@ -527,9 +560,9 @@ func (e *engine) recordUtil(res *Result, t0, t1 float64) {
 			switch d.kind {
 			case resSM:
 				grant := d.dem * e.res[d.idx].factorFor(o.priority)
-				g := int(d.idx) // SM block leads the kind-major layout
-				e.accSM[g] += grant
-				ta := e.tagAcc[g]
+				g := int(d.idx) - lo // SM block leads the kind-major layout
+				accSM[g] += grant
+				ta := tagAcc[g]
 				found := false
 				for i := range ta {
 					if ta[i].tag == o.tag {
@@ -539,14 +572,19 @@ func (e *engine) recordUtil(res *Result, t0, t1 float64) {
 					}
 				}
 				if !found {
-					e.tagAcc[g] = append(ta, tagGrant{tag: o.tag, sm: grant})
+					tagAcc[g] = append(ta, tagGrant{tag: o.tag, sm: grant})
 				}
 			case resBW:
 				grant := d.dem * e.res[d.idx].factorFor(o.priority)
-				e.accBW[int(d.idx)-e.numGPUs] += grant
+				accBW[int(d.idx)-e.numGPUs-lo] += grant
 			}
 		}
 	}
+	return hostCPU
+}
+
+// flushHostSegment appends (or merges) one event's host-pool segment.
+func flushHostSegment(res *Result, t0, t1, hostCPU float64) {
 	if hostCPU > 1 {
 		hostCPU = 1
 	}
@@ -556,28 +594,30 @@ func (e *engine) recordUtil(res *Result, t0, t1 float64) {
 	} else {
 		res.HostUtil = append(res.HostUtil, HostSegment{Start: t0, End: t1, CPU: hostCPU})
 	}
-	for g := 0; g < e.numGPUs; g++ {
-		sm := math.Min(e.accSM[g], 1)
-		bw := math.Min(e.accBW[g], 1)
-		// Merge with the previous segment when nothing changed, to keep
-		// timelines compact.
-		if n := len(res.Util[g]); n > 0 {
-			prev := &res.Util[g][n-1]
-			//lint:ignore floateq intentional bit-equality: adjacent segments merge only when identical
-			if prev.End == t0 && prev.SM == sm && prev.MemBW == bw && tagsMatch(prev.TagSM, e.tagAcc[g]) {
-				prev.End = t1
-				continue
-			}
+}
+
+// flushGPUSegment appends one event's utilization segment for GPU g,
+// merging with the previous segment when nothing changed to keep
+// timelines compact. A TagSM map is allocated only on a real append.
+func flushGPUSegment(res *Result, g int, t0, t1, accSM, accBW float64, tags []tagGrant) {
+	sm := math.Min(accSM, 1)
+	bw := math.Min(accBW, 1)
+	if n := len(res.Util[g]); n > 0 {
+		prev := &res.Util[g][n-1]
+		//lint:ignore floateq intentional bit-equality: adjacent segments merge only when identical
+		if prev.End == t0 && prev.SM == sm && prev.MemBW == bw && tagsMatch(prev.TagSM, tags) {
+			prev.End = t1
+			return
 		}
-		var tagSM map[string]float64
-		if len(e.tagAcc[g]) > 0 {
-			tagSM = make(map[string]float64, len(e.tagAcc[g]))
-			for _, tg := range e.tagAcc[g] {
-				tagSM[tg.tag] = tg.sm
-			}
-		}
-		res.Util[g] = append(res.Util[g], UtilSegment{Start: t0, End: t1, SM: sm, MemBW: bw, TagSM: tagSM})
 	}
+	var tagSM map[string]float64
+	if len(tags) > 0 {
+		tagSM = make(map[string]float64, len(tags))
+		for _, tg := range tags {
+			tagSM[tg.tag] = tg.sm
+		}
+	}
+	res.Util[g] = append(res.Util[g], UtilSegment{Start: t0, End: t1, SM: sm, MemBW: bw, TagSM: tagSM})
 }
 
 // tagsMatch reports whether a stored TagSM map equals the event's tag

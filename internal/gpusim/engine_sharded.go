@@ -1,0 +1,646 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded parallel event engine.
+//
+// The sequential engine's results are bit-defined by its exact float
+// trajectory: on every event it decrements every running op's remaining
+// work by dt·speed, so the global sequence of dt values is load-bearing
+// for every bit of the output. A classic conservative-lookahead PDES —
+// shards advancing independently to a synchronization horizon — would
+// integrate foreign ops over coarser dt steps and change that float
+// trajectory. Bit-identity therefore forces a lockstep design: shards
+// replay the *same* global event trajectory and parallelize the work
+// *within* each event.
+//
+// GPUs are partitioned into contiguous shards; an op is homed on the
+// shard of its GPU (host-only ops — CPU work and barriers — home on
+// shard 0, which also owns the single host-wide CPU resource slot).
+// Each event runs four phases:
+//
+//	factors: each shard re-derives the slowdown factors of its own
+//	  dirty resources. Per-resource user lists are kept in startSeq
+//	  order, so the load summation order matches the sequential
+//	  engine's regardless of which shard performs it.
+//	speeds:  each shard refreshes the speed of its own running ops
+//	  that touch a dirty resource (same set the sequential engine
+//	  refreshes via dirty-resource user lists; refreshSpeed is a pure
+//	  min over cached factors, so recomputation is bit-equal), then
+//	  publishes its local event-horizon minimum.
+//	advance: every shard folds the published minima into the global dt
+//	  (float min is order-independent), applies the identical
+//	  negative/infinity/capacity-boundary clamps, records utilization
+//	  for its own GPUs (per-GPU SM/bandwidth demands only ever come
+//	  from ops homed on that GPU; host-pool accounting is shard 0's,
+//	  whose running list restricted to CPU ops preserves the global
+//	  startSeq order), and decrements its own running ops, collecting
+//	  finishers in startSeq order. Resource entry/exit is deferred.
+//	commit (serial): advance the clock, apply capacity step events,
+//	  apply the deferred leaveWork/enterWork calls (user lists are
+//	  insertion-sorted by startSeq, so application order cannot change
+//	  the resulting state), k-way-merge the per-shard finisher streams
+//	  by startSeq — reproducing exactly the retirement order of the
+//	  sequential engine, whose running list is always startSeq-sorted —
+//	  and retire them in that order, decrementing dependents and
+//	  starting newly-ready ops with globally assigned start sequence
+//	  numbers.
+//
+// The cross-GPU boundary (point-to-point comm demands link-out on the
+// source and link-in on the destination) is the only way an op touches
+// a foreign shard's resources; when a DAG has no such op, the factors
+// and speeds phases fuse and one barrier per event is saved.
+//
+// Between barriers every mutable datum has exactly one writer: a shard
+// writes only its own running list, accumulators, finisher scratch and
+// per-GPU timeline slots, and the commit phase runs solely on worker 0.
+// The barrier's atomics provide the happens-before edges that publish
+// each phase's writes to the next phase's readers.
+//
+// Run never changes observable output: with sharding enabled it can
+// additionally race the sequential engine on a cloned op state (the
+// milp.Solve pattern) and return the first finisher — both engines
+// produce bit-identical Results, so the race is purely a wall-clock
+// hedge against barrier overhead on unfavourable DAGs.
+
+// shardMinOps is the DAG size below which a sharding request falls back
+// to the sequential engine: the per-event phase bookkeeping cannot
+// amortize over a handful of ops.
+const shardMinOps = 16
+
+// effectiveShards resolves the configured shard request against the
+// cluster and DAG size (the milp effectiveWorkers pattern: requests are
+// clamped, never errors).
+func (s *Sim) effectiveShards() int {
+	n := s.engine.Shards
+	if n > s.cfg.NumGPUs {
+		n = s.cfg.NumGPUs
+	}
+	if n <= 1 || len(s.ops) < shardMinOps {
+		return 1
+	}
+	return n
+}
+
+// execute picks the engine for a wired DAG. Every path returns
+// bit-identical Results; the choice affects wall-clock only.
+func (s *Sim) execute() (*Result, error) {
+	shards := s.effectiveShards()
+	if shards <= 1 {
+		return newEngine(s).run()
+	}
+	if s.engine.NoRace || runtime.GOMAXPROCS(0) < 2 {
+		return newShardedEngine(s, shards, nil).run()
+	}
+	return s.runRaced(shards)
+}
+
+// runRaced runs the sharded engine and the sequential engine (on a
+// cloned op state) concurrently and returns the first finisher. The
+// loser is cancelled via its per-event stop poll.
+func (s *Sim) runRaced(shards int) (*Result, error) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	stop := new(atomic.Bool)
+	clone := s.cloneForRace()
+	ch := make(chan outcome, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r, err := newShardedEngine(s, shards, stop).run()
+		ch <- outcome{r, err}
+	}()
+	go func() {
+		defer wg.Done()
+		eng := newEngine(clone)
+		eng.stop = stop
+		r, err := eng.run()
+		ch <- outcome{r, err}
+	}()
+	first := <-ch
+	stop.Store(true)
+	wg.Wait()
+	return first.res, first.err
+}
+
+// cloneForRace copies the mutable op state so two engines can replay
+// the same wired DAG concurrently. Immutable per-op data — demands,
+// deps, and children (fixed once Run has wired the DAG) — is shared
+// read-only between the clones.
+func (s *Sim) cloneForRace() *Sim {
+	c := &Sim{cfg: s.cfg, engine: s.engine, ran: true, capWindows: s.capWindows}
+	c.ops = make([]*op, len(s.ops))
+	for i, o := range s.ops {
+		co := *o
+		c.ops[i] = &co
+	}
+	return c
+}
+
+// shardState is one shard's slice of the engine state. Between barriers
+// it is written only by the worker the shard is assigned to.
+type shardState struct {
+	lo, hi int // owned GPU range [lo, hi)
+	// running is the shard's part of the global running set, always in
+	// startSeq order: starts are appended in global start order by the
+	// serial commit phase, and compaction preserves order.
+	running []*op
+	// localDT is the shard's event-horizon minimum, published at the
+	// speeds-phase barrier and folded into the global dt by every shard.
+	localDT float64
+	// Per-event scratch, reused across events.
+	finished []*op // ops completed this event, startSeq order
+	leave    []*op // finished subset still registered with resources
+	entered  []*op // launch done this event; enterWork deferred to commit
+	mergeIdx int   // commit-phase merge cursor into finished
+	// Per-GPU utilization accumulators covering [lo, hi): per-shard
+	// partials so no two workers ever write the same accumulator.
+	accSM  []float64
+	accBW  []float64
+	tagAcc [][]tagGrant
+}
+
+// shardedEngine wraps the dense engine core with the shard partition
+// and lockstep executors.
+type shardedEngine struct {
+	*engine
+	shards []shardState
+	blk    int  // GPUs per shard (ceil division)
+	cross  bool // some op's demands span two shards
+
+	now    float64
+	done   int
+	events int
+
+	// Parallel-executor control: written by worker 0 in its exclusive
+	// commit window between the advance and commit barriers, read by
+	// every worker after the commit barrier (the barrier's atomics
+	// provide the happens-before edge).
+	cont   bool
+	runErr error
+}
+
+func newShardedEngine(s *Sim, shards int, stop *atomic.Bool) *shardedEngine {
+	core := newEngine(s)
+	core.stop = stop
+	g := core.numGPUs
+	blk := (g + shards - 1) / shards
+	nshards := (g + blk - 1) / blk // drop empty tail shards
+	e := &shardedEngine{engine: core, blk: blk}
+	e.shards = make([]shardState, nshards)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.lo = i * blk
+		sh.hi = sh.lo + blk
+		if sh.hi > g {
+			sh.hi = g
+		}
+		n := sh.hi - sh.lo
+		sh.accSM = make([]float64, n)
+		sh.accBW = make([]float64, n)
+		sh.tagAcc = make([][]tagGrant, n)
+	}
+	for _, o := range s.ops {
+		home := e.shardOfOp(o)
+		for _, d := range e.demandsOf(o) {
+			if e.resOwner(d.idx) != home {
+				e.cross = true
+			}
+		}
+		if e.cross {
+			break
+		}
+	}
+	return e
+}
+
+// shardOfOp homes an op: GPU-resident ops on their GPU's shard,
+// host-only ops (gpu < 0) on shard 0 alongside the host CPU resource.
+func (e *shardedEngine) shardOfOp(o *op) int {
+	if o.gpu < 0 {
+		return 0
+	}
+	return o.gpu / e.blk
+}
+
+// resOwner maps a dense resource index to the shard that owns it. The
+// single host-wide CPU slot (last index) belongs to shard 0; per-GPU
+// resources follow the kind-major layout, so the GPU is idx mod NumGPUs.
+func (e *shardedEngine) resOwner(idx int32) int {
+	if int(idx) == len(e.res)-1 {
+		return 0
+	}
+	return (int(idx) % e.numGPUs) / e.blk
+}
+
+// startOp launches an op, assigning the global start sequence number
+// and appending it to its home shard's running list. Serial-phase only.
+func (e *shardedEngine) startOp(o *op) {
+	o.state = opLaunching
+	o.start = e.now
+	o.startSeq = e.nextSeq
+	e.nextSeq++
+	if o.overheadLeft <= timeEps {
+		o.state = opRunning
+		e.enterWork(o)
+	}
+	sh := &e.shards[e.shardOfOp(o)]
+	sh.running = append(sh.running, o)
+}
+
+func (e *shardedEngine) runningCount() int {
+	n := 0
+	for i := range e.shards {
+		n += len(e.shards[i].running)
+	}
+	return n
+}
+
+func (e *shardedEngine) deadlockErr() error {
+	return fmt.Errorf("gpusim: deadlock — %d ops pending with no runnable op (dependency cycle?)", len(e.s.ops)-e.done)
+}
+
+// phaseFactors re-derives the slowdown factors of the shard's dirty
+// resources. Dirty flags are left set: the speeds phase still reads
+// them; the commit phase clears them.
+func (e *shardedEngine) phaseFactors(id int) {
+	for _, idx := range e.dirty {
+		if e.resOwner(idx) == id {
+			e.refreshFactors(idx)
+		}
+	}
+}
+
+// phaseSpeeds refreshes the speed of the shard's running ops that touch
+// a dirty resource — exactly the set the sequential engine refreshes
+// via dirty-resource user lists — then publishes the shard's event
+// horizon.
+func (e *shardedEngine) phaseSpeeds(id int) {
+	sh := &e.shards[id]
+	for _, o := range sh.running {
+		if o.state != opRunning {
+			continue
+		}
+		for _, d := range e.demandsOf(o) {
+			if e.res[d.idx].dirty {
+				e.refreshSpeed(o)
+				break
+			}
+		}
+	}
+	dt := math.Inf(1)
+	for _, o := range sh.running {
+		switch o.state {
+		case opLaunching:
+			if o.overheadLeft < dt {
+				dt = o.overheadLeft
+			}
+		case opRunning:
+			if rem := o.workLeft / e.speeds[o.id]; rem < dt {
+				dt = rem
+			}
+		}
+	}
+	sh.localDT = dt
+}
+
+// clampedDT folds the published per-shard horizons into the global dt
+// and applies the sequential engine's clamps. Every shard computes the
+// identical value (float min is order-independent), avoiding an extra
+// serial step and barrier.
+func (e *shardedEngine) clampedDT() float64 {
+	dt := math.Inf(1)
+	for i := range e.shards {
+		if e.shards[i].localDT < dt {
+			dt = e.shards[i].localDT
+		}
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	if math.IsInf(dt, 1) {
+		dt = 0 // only zero-work ops are running; complete them now
+	}
+	if e.capIdx < len(e.capEvents) {
+		if lim := e.capEvents[e.capIdx].t - e.now; lim < dt {
+			dt = lim
+			if dt < 0 {
+				dt = 0
+			}
+		}
+	}
+	return dt
+}
+
+// phaseAdvance records the segment's utilization for the shard's GPUs
+// and integrates dt over the shard's running ops, collecting finishers
+// in startSeq order. Resource entry/exit mutates (possibly foreign)
+// per-resource user lists, so both are deferred to the serial commit.
+func (e *shardedEngine) phaseAdvance(id int, dt float64, res *Result) {
+	sh := &e.shards[id]
+	if dt > timeEps {
+		for i := range sh.accSM {
+			sh.accSM[i] = 0
+			sh.accBW[i] = 0
+			sh.tagAcc[i] = sh.tagAcc[i][:0]
+		}
+		hostCPU := e.accumUtil(sh.running, sh.lo, sh.accSM, sh.accBW, sh.tagAcc)
+		if id == 0 {
+			// Shard 0 owns all host-demand ops, so its partial host sum
+			// is the global one, accumulated in startSeq order.
+			flushHostSegment(res, e.now, e.now+dt, hostCPU)
+		}
+		for g := sh.lo; g < sh.hi; g++ {
+			flushGPUSegment(res, g, e.now, e.now+dt, sh.accSM[g-sh.lo], sh.accBW[g-sh.lo], sh.tagAcc[g-sh.lo])
+		}
+	}
+	sh.finished = sh.finished[:0]
+	sh.leave = sh.leave[:0]
+	sh.entered = sh.entered[:0]
+	next := sh.running[:0]
+	for _, o := range sh.running {
+		switch o.state {
+		case opLaunching:
+			o.overheadLeft -= dt
+			if o.overheadLeft <= timeEps {
+				o.overheadLeft = 0
+				o.state = opRunning
+				if o.workLeft <= timeEps {
+					// Never entered resource accounting; retire directly.
+					sh.finished = append(sh.finished, o)
+					continue
+				}
+				sh.entered = append(sh.entered, o)
+			}
+			next = append(next, o)
+		case opRunning:
+			o.workLeft -= dt * e.speeds[o.id]
+			if o.workLeft <= timeEps {
+				sh.finished = append(sh.finished, o)
+				sh.leave = append(sh.leave, o)
+				continue
+			}
+			next = append(next, o)
+		}
+	}
+	sh.running = next
+}
+
+// phaseCommit is the serial tail of each event: clock and capacity
+// steps, deferred resource entry/exit, and retirement of the merged
+// finisher stream in global startSeq order — the exact order the
+// sequential engine's startSeq-sorted running list produces — so
+// children decrement, start, and number identically.
+func (e *shardedEngine) phaseCommit(dt float64, res *Result) {
+	e.events++
+	e.now += dt
+	for _, idx := range e.dirty {
+		e.res[idx].dirty = false
+	}
+	e.dirty = e.dirty[:0]
+	for e.capIdx < len(e.capEvents) && e.capEvents[e.capIdx].t <= e.now+timeEps {
+		for _, ch := range e.capEvents[e.capIdx].changes {
+			e.caps[ch.idx] = ch.cap
+			e.markDirty(ch.idx)
+		}
+		e.capIdx++
+	}
+	// User lists are insertion-sorted by startSeq and removal is by
+	// identity, so the application order of the deferred exits/entries
+	// cannot change the resulting resource state.
+	for i := range e.shards {
+		for _, o := range e.shards[i].leave {
+			e.leaveWork(o)
+		}
+		for _, o := range e.shards[i].entered {
+			e.enterWork(o)
+		}
+	}
+	for {
+		best := -1
+		for i := range e.shards {
+			sh := &e.shards[i]
+			if sh.mergeIdx >= len(sh.finished) {
+				continue
+			}
+			if best < 0 || sh.finished[sh.mergeIdx].startSeq < e.shards[best].finished[e.shards[best].mergeIdx].startSeq {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sh := &e.shards[best]
+		o := sh.finished[sh.mergeIdx]
+		sh.mergeIdx++
+		o.state = opDone
+		o.end = e.now
+		e.done++
+		res.Ops[o.id] = OpResult{ID: o.id, Name: o.name, Tag: o.tag, GPU: o.gpu, Start: o.start, End: o.end}
+		res.byName[o.name] = append(res.byName[o.name], int(o.id))
+		for _, c := range o.children {
+			child := e.s.ops[c]
+			child.missing--
+			if child.missing == 0 && child.state == opPending {
+				e.startOp(child)
+			}
+		}
+	}
+	for i := range e.shards {
+		e.shards[i].mergeIdx = 0
+	}
+}
+
+// run executes the wired DAG on the shard partition. Worker count is
+// capped by GOMAXPROCS; with a single worker the lockstep phases run
+// inline with no goroutines or barriers.
+func (e *shardedEngine) run() (*Result, error) {
+	s := e.s
+	res := &Result{
+		Ops:    make([]OpResult, len(s.ops)),
+		Util:   make([][]UtilSegment, e.numGPUs),
+		byName: make(map[string][]int),
+	}
+	for _, o := range s.ops {
+		if o.missing == 0 {
+			e.startOp(o)
+		}
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(e.shards) {
+		nw = len(e.shards)
+	}
+	var err error
+	if nw <= 1 {
+		err = e.runInline(res)
+	} else {
+		err = e.runParallel(res, nw)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = e.now
+	res.Events = e.events
+	return res, nil
+}
+
+func (e *shardedEngine) runInline(res *Result) error {
+	total := len(e.s.ops)
+	for e.done < total {
+		if e.stop != nil && e.stop.Load() {
+			return errEngineCancelled
+		}
+		if e.runningCount() == 0 {
+			return e.deadlockErr()
+		}
+		for i := range e.shards {
+			e.phaseFactors(i)
+		}
+		for i := range e.shards {
+			e.phaseSpeeds(i)
+		}
+		dt := e.clampedDT()
+		for i := range e.shards {
+			e.phaseAdvance(i, dt, res)
+		}
+		e.phaseCommit(dt, res)
+	}
+	return nil
+}
+
+func (e *shardedEngine) runParallel(res *Result, nw int) error {
+	total := len(e.s.ops)
+	if e.done >= total {
+		return nil
+	}
+	// Event-0 loop-top checks, mirroring the inline executor.
+	if e.stop != nil && e.stop.Load() {
+		return errEngineCancelled
+	}
+	if e.runningCount() == 0 {
+		return e.deadlockErr()
+	}
+	e.cont = true
+	e.runErr = nil
+	bar := newSpinBarrier(int32(nw))
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.workerLoop(w, nw, bar, res, total)
+		}(w)
+	}
+	wg.Wait()
+	return e.runErr
+}
+
+// workerLoop is one persistent shard worker. Worker w handles shards
+// w, w+nw, w+2nw, ... (a static, deterministic assignment) and worker 0
+// doubles as the serial commit coordinator.
+func (e *shardedEngine) workerLoop(w, nw int, bar *spinBarrier, res *Result, total int) {
+	for {
+		for id := w; id < len(e.shards); id += nw {
+			e.phaseFactors(id)
+		}
+		if e.cross {
+			// Only cross-shard ops read foreign factors in the speeds
+			// phase; without them the two phases fuse barrier-free.
+			bar.wait()
+		}
+		for id := w; id < len(e.shards); id += nw {
+			e.phaseSpeeds(id)
+		}
+		bar.wait()
+		dt := e.clampedDT()
+		for id := w; id < len(e.shards); id += nw {
+			e.phaseAdvance(id, dt, res)
+		}
+		bar.wait()
+		if w == 0 {
+			e.phaseCommit(dt, res)
+			e.cont = e.done < total
+			if e.cont {
+				switch {
+				case e.stop != nil && e.stop.Load():
+					e.runErr = errEngineCancelled
+					e.cont = false
+				case e.runningCount() == 0:
+					e.runErr = e.deadlockErr()
+					e.cont = false
+				}
+			}
+		}
+		bar.wait()
+		if !e.cont {
+			return
+		}
+	}
+}
+
+// barrierSpinLimit bounds the optimistic spin before a waiter parks on
+// the condition variable. Simulated events are microseconds of real
+// work apart, so on a truly parallel machine the generation bump lands
+// within the spin window and no futex is touched; when workers
+// outnumber cores (oversubscribed CI boxes, GOMAXPROCS raised in
+// tests) spinning would burn whole timeslices waiting for a worker
+// that cannot run, so waiters give up quickly and sleep.
+const barrierSpinLimit = 128
+
+// spinBarrier is a sense-reversing barrier for the persistent shard
+// workers: bounded spin, then park. The atomic generation counter
+// establishes the happens-before edges that publish each phase's
+// writes to the next phase's readers — which is also exactly what the
+// race detector requires.
+type spinBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Uint64
+	mu    sync.Mutex // serializes gen bumps against parked waiters
+	cond  *sync.Cond // signaled on every gen bump
+}
+
+func newSpinBarrier(n int32) *spinBarrier {
+	b := &spinBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *spinBarrier) wait() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		// Last arriver: reset for the next round, then release. The
+		// count reset must precede the generation bump — a released
+		// worker may reach the next wait immediately. Bumping under the
+		// mutex pairs with the parked waiters' locked re-check, so a
+		// wakeup cannot slip between their check and their sleep.
+		b.count.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for spins := 0; spins < barrierSpinLimit; spins++ {
+		if b.gen.Load() != gen {
+			return
+		}
+		if spins&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,184 @@
+package gpusim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// runGoldenWith replays one (optionally chaos-perturbed) golden DAG
+// under the given engine options.
+func runGoldenWith(t *testing.T, seed int64, chaos bool, opt EngineOptions) *Result {
+	t.Helper()
+	s := buildGoldenDAG(seed)
+	if chaos {
+		if err := perturbGoldenDAG(s, seed); err != nil {
+			t.Fatalf("seed %d: perturb: %v", seed, err)
+		}
+	}
+	s.SetEngineOptions(opt)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("seed %d (shards %d): %v", seed, opt.Shards, err)
+	}
+	return res
+}
+
+// TestShardedGoldenEquivalence is the tentpole gate: every golden DAG —
+// plain and chaos-perturbed — through shard counts {1,2,4,8} must be
+// bit-identical to the sequential engine, field by field and by digest,
+// including the event count (the engines replay the same trajectory).
+// Shard counts above a DAG's GPU count exercise the clamp.
+func TestShardedGoldenEquivalence(t *testing.T) {
+	for _, chaos := range []bool{false, true} {
+		seeds := goldenSeeds
+		if chaos {
+			seeds = chaosGoldenSeeds
+		}
+		for seed := 0; seed < seeds; seed++ {
+			want := runGoldenWith(t, int64(seed), chaos, EngineOptions{})
+			wantDigest := ResultDigest(want)
+			for _, shards := range []int{1, 2, 4, 8} {
+				got := runGoldenWith(t, int64(seed), chaos, EngineOptions{Shards: shards, NoRace: true})
+				compareResults(t, seed, got, want)
+				if got.Events != want.Events {
+					t.Errorf("seed %d shards %d chaos %v: %d events != sequential %d",
+						seed, shards, chaos, got.Events, want.Events)
+				}
+				if d := ResultDigest(got); d != wantDigest {
+					t.Errorf("seed %d shards %d chaos %v: digest %s != sequential %s",
+						seed, shards, chaos, d[:12], wantDigest[:12])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedParallelExecutor forces the multi-worker executor (spin
+// barriers, persistent workers) by raising GOMAXPROCS, and re-checks
+// bit-identity. Under -race this is what exercises the barrier's
+// happens-before edges.
+func TestShardedParallelExecutor(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, chaos := range []bool{false, true} {
+		for seed := 0; seed < 12; seed++ {
+			want := runGoldenWith(t, int64(seed), chaos, EngineOptions{})
+			for _, shards := range []int{2, 4} {
+				got := runGoldenWith(t, int64(seed), chaos, EngineOptions{Shards: shards, NoRace: true})
+				compareResults(t, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestRacedRunEquivalence exercises the default raced path (sharded vs
+// sequential-on-a-clone, first finisher wins): whichever engine wins,
+// the Result must be bit-identical to a plain sequential run.
+func TestRacedRunEquivalence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	for _, chaos := range []bool{false, true} {
+		for seed := 0; seed < 12; seed++ {
+			want := runGoldenWith(t, int64(seed), chaos, EngineOptions{})
+			got := runGoldenWith(t, int64(seed), chaos, EngineOptions{Shards: 4})
+			compareResults(t, seed, got, want)
+		}
+	}
+}
+
+// TestShardFallbacks pins the effectiveShards resolution: requests are
+// clamped to the GPU count, and DAGs below shardMinOps run sequential.
+func TestShardFallbacks(t *testing.T) {
+	small := NewSim(ClusterConfig{NumGPUs: 4})
+	for i := 0; i < shardMinOps-1; i++ {
+		small.AddKernel(i%4, Kernel{Name: "k", Work: 1, Demand: Demand{SM: 0.5}})
+	}
+	small.SetEngineOptions(EngineOptions{Shards: 4})
+	if got := small.effectiveShards(); got != 1 {
+		t.Errorf("small DAG: effectiveShards = %d, want 1", got)
+	}
+
+	big := NewSim(ClusterConfig{NumGPUs: 2})
+	for i := 0; i < 2*shardMinOps; i++ {
+		big.AddKernel(i%2, Kernel{Name: "k", Work: 1, Demand: Demand{SM: 0.5}})
+	}
+	big.SetEngineOptions(EngineOptions{Shards: 8})
+	if got := big.effectiveShards(); got != 2 {
+		t.Errorf("8-shard request on 2 GPUs: effectiveShards = %d, want 2", got)
+	}
+}
+
+// TestShardedDeadlockParity: a dependency cycle must produce the exact
+// same error through every engine.
+func TestShardedDeadlockParity(t *testing.T) {
+	build := func() *Sim {
+		s := NewSim(ClusterConfig{NumGPUs: 2})
+		for i := 0; i < 2*shardMinOps; i++ {
+			s.AddKernel(i%2, Kernel{Name: "k", Work: 5, Demand: Demand{SM: 0.4}})
+		}
+		a := s.AddKernel(0, Kernel{Name: "cyc-a", Work: 1, Demand: Demand{SM: 0.1}})
+		b := s.AddKernel(1, Kernel{Name: "cyc-b", Work: 1, Demand: Demand{SM: 0.1}}, WithDeps(a))
+		s.ops[a].deps = append(s.ops[a].deps, b)
+		return s
+	}
+	_, seqErr := build().Run()
+	if seqErr == nil {
+		t.Fatal("sequential engine accepted a dependency cycle")
+	}
+	for _, shards := range []int{2, 8} {
+		s := build()
+		s.SetEngineOptions(EngineOptions{Shards: shards, NoRace: true})
+		_, err := s.Run()
+		if err == nil || err.Error() != seqErr.Error() {
+			t.Errorf("shards %d: deadlock error %q != sequential %q", shards, err, seqErr)
+		}
+	}
+}
+
+// TestStopFlagCancels pins the raced-path cancellation contract: an
+// engine whose stop flag is set aborts with errEngineCancelled.
+func TestStopFlagCancels(t *testing.T) {
+	build := func() *Sim {
+		s := NewSim(ClusterConfig{NumGPUs: 2})
+		for i := 0; i < 2*shardMinOps; i++ {
+			s.AddKernel(i%2, Kernel{Name: "k", Work: 10, Demand: Demand{SM: 0.5}})
+		}
+		s.ran = true // direct engine construction below; no deps to wire
+		return s
+	}
+	stop := new(atomic.Bool)
+	stop.Store(true)
+	if _, err := newShardedEngine(build(), 2, stop).run(); err != errEngineCancelled {
+		t.Errorf("sharded engine: err = %v, want errEngineCancelled", err)
+	}
+	eng := newEngine(build())
+	eng.stop = stop
+	if _, err := eng.run(); err != errEngineCancelled {
+		t.Errorf("sequential engine: err = %v, want errEngineCancelled", err)
+	}
+}
+
+// TestShardedCrossDetection: point-to-point comm between GPUs of
+// different shards is the only cross-shard coupling; DAGs without it
+// must fuse the factors/speeds phases (cross == false).
+func TestShardedCrossDetection(t *testing.T) {
+	local := NewSim(ClusterConfig{NumGPUs: 4})
+	for i := 0; i < shardMinOps; i++ {
+		local.AddKernel(i%4, Kernel{Name: "k", Work: 1, Demand: Demand{SM: 0.5}})
+	}
+	local.AddComm("same-shard", 0, 1, 1e6) // GPUs 0,1 share a shard at 2 shards
+	local.AddCPU("host", 10, 4)
+	local.ran = true
+	if e := newShardedEngine(local, 2, nil); e.cross {
+		t.Error("DAG without cross-shard comm flagged cross")
+	}
+
+	remote := NewSim(ClusterConfig{NumGPUs: 4})
+	for i := 0; i < shardMinOps; i++ {
+		remote.AddKernel(i%4, Kernel{Name: "k", Work: 1, Demand: Demand{SM: 0.5}})
+	}
+	remote.AddComm("cross-shard", 0, 3, 1e6)
+	remote.ran = true
+	if e := newShardedEngine(remote, 2, nil); !e.cross {
+		t.Error("cross-shard comm not detected")
+	}
+}

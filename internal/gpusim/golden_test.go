@@ -1,17 +1,12 @@
 package gpusim
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"testing"
 )
 
@@ -95,56 +90,9 @@ func buildGoldenDAG(seed int64) *Sim {
 	return s
 }
 
-// digestResult hashes every observable field of a Result, including the
-// exact bit patterns of all floats, so two results digest equal iff they
-// are bit-identical.
-func digestResult(r *Result) string {
-	h := sha256.New()
-	f := func(v float64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		h.Write(b[:])
-	}
-	str := func(s string) {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
-		h.Write(b[:])
-		h.Write([]byte(s))
-	}
-	f(r.Makespan)
-	for _, op := range r.Ops {
-		str(op.Name)
-		str(op.Tag)
-		f(float64(op.GPU))
-		f(op.Start)
-		f(op.End)
-	}
-	for g := range r.Util {
-		f(float64(len(r.Util[g])))
-		for _, seg := range r.Util[g] {
-			f(seg.Start)
-			f(seg.End)
-			f(seg.SM)
-			f(seg.MemBW)
-			tags := make([]string, 0, len(seg.TagSM))
-			for t := range seg.TagSM {
-				tags = append(tags, t)
-			}
-			sort.Strings(tags)
-			for _, t := range tags {
-				str(t)
-				f(seg.TagSM[t])
-			}
-		}
-	}
-	f(float64(len(r.HostUtil)))
-	for _, seg := range r.HostUtil {
-		f(seg.Start)
-		f(seg.End)
-		f(seg.CPU)
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
+// digestResult is the test-local alias of the exported ResultDigest
+// (digest.go); the golden files were captured through this path.
+func digestResult(r *Result) string { return ResultDigest(r) }
 
 func goldenDigestPath() string {
 	return filepath.Join("testdata", fmt.Sprintf("golden_digests_%s.json", runtime.GOARCH))

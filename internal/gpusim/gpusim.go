@@ -263,12 +263,24 @@ type Result struct {
 	Util [][]UtilSegment
 	// HostUtil is the host CPU pool's utilization timeline.
 	HostUtil []HostSegment
+	// Events counts the simulated event-loop iterations. Every engine
+	// configuration replays the same event trajectory, so the count is
+	// identical across sequential and sharded runs (the equivalence
+	// suite asserts this) and normalizes benchmark times to ns/event.
+	Events int
 
 	byName map[string][]int
 }
 
-// OpByID returns the result of op id.
-func (r *Result) OpByID(id OpID) OpResult { return r.Ops[int(id)] }
+// OpByID returns the result of op id. An out-of-range id yields the
+// zero OpResult (same defined-zero behavior as AvgUtil/UtilSeries/
+// BusyFraction on out-of-range GPUs).
+func (r *Result) OpByID(id OpID) OpResult {
+	if int(id) < 0 || int(id) >= len(r.Ops) {
+		return OpResult{}
+	}
+	return r.Ops[int(id)]
+}
 
 // OpsByName returns all results whose op name matches.
 func (r *Result) OpsByName(name string) []OpResult {
@@ -338,12 +350,38 @@ func (r *Result) UtilSeries(g int, dt float64) []Sample {
 	return out
 }
 
+// EngineOptions selects how Run executes the event loop. The options
+// influence wall-clock only: every configuration produces bit-identical
+// Results (enforced by the cross-shard-count equivalence suite and the
+// golden digests).
+type EngineOptions struct {
+	// Shards requests the sharded parallel engine with that many GPU
+	// shards. 0 or 1 selects the sequential engine; values above the
+	// GPU count are clamped. Sharding is skipped (sequential fallback)
+	// for DAGs too small to amortize the per-event synchronization.
+	Shards int
+	// NoRace disables racing the sequential engine alongside the
+	// sharded one. By default, when the sharded engine is selected and
+	// a spare CPU exists, Run races both and returns the first finisher
+	// — results are bit-identical either way, so the race is purely a
+	// wall-clock hedge against barrier overhead on unfavourable DAGs
+	// (the milp.Solve pattern). Benchmarks set NoRace for clean
+	// per-configuration timings.
+	NoRace bool
+}
+
 // Sim accumulates an op DAG and executes it.
 type Sim struct {
 	cfg     ClusterConfig
 	ops     []*op
 	streams map[string]OpID // last op per stream, for implicit chaining
 	ran     bool
+	engine  EngineOptions
+	// addErr records the first invalid Add* call (e.g. an out-of-range
+	// GPU); Run reports it instead of executing. Deferred error
+	// reporting keeps the builder surface panic-free, matching the
+	// zero-value/error convention of the Result query surface.
+	addErr error
 	// capWindows holds the time-varying capacity scalings (see
 	// capacity.go); empty means every resource has capacity 1.0 forever.
 	capWindows []capWindow
@@ -358,6 +396,13 @@ func NewSim(cfg ClusterConfig) *Sim {
 
 // Config returns the (defaulted) cluster configuration.
 func (s *Sim) Config() ClusterConfig { return s.cfg }
+
+// SetEngineOptions configures how Run executes the DAG. It must be
+// called before Run; the options never change observable results.
+func (s *Sim) SetEngineOptions(o EngineOptions) { s.engine = o }
+
+// EngineOptions returns the configured engine options.
+func (s *Sim) EngineOptions() EngineOptions { return s.engine }
 
 // OpOption customizes an op at add time.
 type OpOption func(*op, *Sim)
@@ -399,19 +444,32 @@ func (s *Sim) add(o *op, opts ...OpOption) OpID {
 	return o.id
 }
 
-// mustGPU panics when g is outside the cluster, with the same message
+// InvalidOp is the OpID returned by Add* calls rejected at add time
+// (e.g. an out-of-range GPU). It is never a valid dependency: a Run on
+// a Sim that recorded an invalid add reports the add error.
+const InvalidOp = OpID(-1)
+
+// checkGPU validates a GPU index at add time, with the same message
 // for every op kind. Validating at add time turns what used to be an
-// unrelated slice-bounds panic deep inside the engine into an immediate,
-// attributable error at the call site.
-func (s *Sim) mustGPU(g int) {
+// unrelated slice-bounds panic deep inside the engine into an
+// immediate, attributable error; the error is deferred to Run (the
+// builder methods keep their fluent OpID signatures) and the offending
+// call returns InvalidOp.
+func (s *Sim) checkGPU(g int) bool {
 	if g < 0 || g >= s.cfg.NumGPUs {
-		panic(fmt.Sprintf("gpusim: gpu %d out of range [0,%d)", g, s.cfg.NumGPUs))
+		if s.addErr == nil {
+			s.addErr = fmt.Errorf("gpusim: gpu %d out of range [0,%d)", g, s.cfg.NumGPUs)
+		}
+		return false
 	}
+	return true
 }
 
 // AddKernel schedules a GPU kernel on gpu.
 func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
-	s.mustGPU(gpu)
+	if !s.checkGPU(gpu) {
+		return InvalidOp
+	}
 	d := k.Demand.Clamp()
 	o := &op{
 		name:         k.Name,
@@ -433,8 +491,9 @@ func (s *Sim) AddKernel(gpu int, k Kernel, opts ...OpOption) OpID {
 // AddComm schedules a point-to-point transfer of bytes from GPU src to
 // GPU dst over the NVLink fabric.
 func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption) OpID {
-	s.mustGPU(src)
-	s.mustGPU(dst)
+	if !s.checkGPU(src) || !s.checkGPU(dst) {
+		return InvalidOp
+	}
 	if src == dst {
 		// Device-local "transfer": a D2D copy through DRAM, charged at
 		// the GPU's memory bandwidth and contending with kernels for it.
@@ -472,7 +531,9 @@ func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption
 // collective of the given per-GPU byte volume would take. Collectives
 // (all-to-all, all-reduce) are expressed as one such op per participant.
 func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) OpID {
-	s.mustGPU(g)
+	if !s.checkGPU(g) {
+		return InvalidOp
+	}
 	work := bytes / (s.cfg.LinkGBs * 1e3)
 	o := &op{
 		name:     name,
@@ -490,7 +551,9 @@ func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) O
 // AddHostCopy schedules a host-to-device copy of bytes onto GPU g's copy
 // engine (the data-preparation transfer of §6.3).
 func (s *Sim) AddHostCopy(name string, g int, bytes float64, opts ...OpOption) OpID {
-	s.mustGPU(g)
+	if !s.checkGPU(g) {
+		return InvalidOp
+	}
 	work := bytes / (s.cfg.CopyGBs * 1e3)
 	o := &op{
 		name:     name,

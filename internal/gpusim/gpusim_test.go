@@ -3,6 +3,7 @@ package gpusim
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -305,26 +306,31 @@ func TestSelfDepRejected(t *testing.T) {
 	}
 }
 
-func TestGPUOutOfRangePanics(t *testing.T) {
+func TestGPUOutOfRangeRejected(t *testing.T) {
 	cases := []struct {
 		name string
-		add  func(s *Sim)
+		add  func(s *Sim) OpID
 	}{
-		{"kernel", func(s *Sim) { s.AddKernel(3, Kernel{Name: "a", Work: 1}) }},
-		{"kernel_negative", func(s *Sim) { s.AddKernel(-1, Kernel{Name: "a", Work: 1}) }},
-		{"comm_src", func(s *Sim) { s.AddComm("c", 3, 0, 1e6) }},
-		{"comm_dst", func(s *Sim) { s.AddComm("c", 0, -2, 1e6) }},
-		{"linkbusy", func(s *Sim) { s.AddLinkBusy("l", 5, 1e6) }},
-		{"hostcopy", func(s *Sim) { s.AddHostCopy("h", -1, 1e6) }},
+		{"kernel", func(s *Sim) OpID { return s.AddKernel(3, Kernel{Name: "a", Work: 1}) }},
+		{"kernel_negative", func(s *Sim) OpID { return s.AddKernel(-1, Kernel{Name: "a", Work: 1}) }},
+		{"comm_src", func(s *Sim) OpID { return s.AddComm("c", 3, 0, 1e6) }},
+		{"comm_dst", func(s *Sim) OpID { return s.AddComm("c", 0, -2, 1e6) }},
+		{"linkbusy", func(s *Sim) OpID { return s.AddLinkBusy("l", 5, 1e6) }},
+		{"hostcopy", func(s *Sim) OpID { return s.AddHostCopy("h", -1, 1e6) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("no panic for out-of-range gpu")
-				}
-			}()
-			tc.add(NewSim(ClusterConfig{NumGPUs: 1}))
+			s := NewSim(ClusterConfig{NumGPUs: 1})
+			if id := tc.add(s); id != InvalidOp {
+				t.Fatalf("out-of-range gpu accepted: op %d", id)
+			}
+			// A valid op added afterwards does not clear the recorded error.
+			s.AddKernel(0, Kernel{Name: "ok", Work: 1, Demand: Demand{SM: 0.1}})
+			if _, err := s.Run(); err == nil {
+				t.Fatal("Run succeeded despite invalid add")
+			} else if !strings.Contains(err.Error(), "out of range") {
+				t.Fatalf("unexpected error: %v", err)
+			}
 		})
 	}
 }
@@ -535,5 +541,34 @@ func TestEnergyEmptyResult(t *testing.T) {
 	var e EnergyReport
 	if e.AvgGPUWatts() != 0 || e.AvgHostWatts() != 0 {
 		t.Fatal("zero-makespan watts should be 0")
+	}
+}
+
+// TestQuerySurfaceOutOfRange pins the defined-zero behavior of the
+// Result query surface: out-of-range lookups return zero values, never
+// panic (the same convention AvgUtil/UtilSeries/BusyFraction follow).
+func TestQuerySurfaceOutOfRange(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 1})
+	id := s.AddKernel(0, Kernel{Name: "k", Work: 10, Demand: Demand{SM: 0.5}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.OpByID(id); got.Name != "k" {
+		t.Fatalf("in-range OpByID: %+v", got)
+	}
+	for _, bad := range []OpID{-1, OpID(len(res.Ops)), 99, InvalidOp} {
+		if got := res.OpByID(bad); got != (OpResult{}) {
+			t.Errorf("OpByID(%d) = %+v, want zero OpResult", bad, got)
+		}
+	}
+	// Energy with an inflated GPU count clamps to the recorded
+	// timelines instead of panicking, and matches the exact count.
+	pm := DefaultPowerModel()
+	want := res.Energy(pm, 1, 8)
+	got := res.Energy(pm, 64, 8)
+	if math.Float64bits(got.GPUJoules) != math.Float64bits(want.GPUJoules) ||
+		math.Float64bits(got.HostJoules) != math.Float64bits(want.HostJoules) {
+		t.Errorf("clamped Energy %+v != exact-count Energy %+v", got, want)
 	}
 }

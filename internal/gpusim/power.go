@@ -64,10 +64,15 @@ func (e EnergyReport) AvgHostWatts() float64 {
 }
 
 // Energy integrates the power model over the result's utilization
-// timelines. numGPUs must match the simulated cluster; hostCores is the
-// host pool size the CPU utilization is normalized against.
+// timelines. numGPUs should match the simulated cluster; a count
+// exceeding the recorded timelines is clamped (the idle draw of GPUs
+// the result never saw cannot be reconstructed), matching the
+// zero-value behavior of the other query methods.
 func (r *Result) Energy(pm PowerModel, numGPUs, hostCores int) EnergyReport {
 	rep := EnergyReport{MakespanUs: r.Makespan}
+	if numGPUs > len(r.Util) {
+		numGPUs = len(r.Util)
+	}
 	for g := 0; g < numGPUs; g++ {
 		joules := pm.GPUIdleW * r.Makespan * 1e-6
 		for _, seg := range r.Util[g] {

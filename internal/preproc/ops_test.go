@@ -318,7 +318,7 @@ func TestKernelSpecCostModel(t *testing.T) {
 func TestKernelSpecFuse(t *testing.T) {
 	a := KernelSpec{Name: "a", Type: OpFillNull, Elements: 1000}
 	b := KernelSpec{Name: "b", Type: OpFillNull, Elements: 3000}
-	f := a.Fuse(b)
+	f := a.MustFuse(b)
 	if f.Elements != 4000 || f.FusedCount != 2 {
 		t.Fatalf("fused = %+v", f)
 	}
@@ -335,13 +335,13 @@ func TestKernelSpecFuse(t *testing.T) {
 			t.Fatal("cross-type fusion accepted")
 		}
 	}()
-	a.Fuse(KernelSpec{Type: OpLogit})
+	a.MustFuse(KernelSpec{Type: OpLogit})
 }
 
 func TestKernelSpecFuseParamScale(t *testing.T) {
 	a := KernelSpec{Name: "a", Type: OpNGram, Elements: 1000, ParamScale: 2}
 	b := KernelSpec{Name: "b", Type: OpNGram, Elements: 1000, ParamScale: 1}
-	f := a.Fuse(b)
+	f := a.MustFuse(b)
 	if math.Abs(f.ParamScale-1.5) > 1e-9 {
 		t.Fatalf("fused param scale = %f, want element-weighted 1.5", f.ParamScale)
 	}
@@ -434,7 +434,7 @@ func TestFusionSavesLaunchOverheadProperty(t *testing.T) {
 		}
 		fused := specs[0]
 		for _, s := range specs[1:] {
-			fused = fused.Fuse(s)
+			fused = fused.MustFuse(s)
 		}
 		return math.Abs(fused.Elements-sum) < 1e-6 &&
 			fused.SoloLatency() < sep &&

@@ -290,12 +290,14 @@ func (s KernelSpec) Kernel() gpusim.Kernel {
 	}
 }
 
-// Fuse horizontally merges two same-type kernels: one launch, combined
-// elements (§6.1). It panics if the types differ — callers must respect
-// the same-type fusion constraint.
-func (s KernelSpec) Fuse(o KernelSpec) KernelSpec {
+// MustFuse horizontally merges two same-type kernels: one launch,
+// combined elements (§6.1). Like every Must* helper it panics on
+// misuse — here, differing op types: both in-tree callers (the fusion
+// planner and the profile-set generator) group kernels by op type
+// before fusing, so a mixed-type pair is a programming error, not an
+// input condition.
+func (s KernelSpec) MustFuse(o KernelSpec) KernelSpec {
 	if s.Type != o.Type {
-		//lint:ignore panicpath checked invariant: the fusion planner groups kernels by op type before fusing
 		panic(fmt.Sprintf("preproc: cannot fuse %s with %s", s.Type, o.Type))
 	}
 	sc1, sc2 := s.ParamScale, o.ParamScale

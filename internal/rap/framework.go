@@ -48,6 +48,11 @@ type BuildOptions struct {
 	PreprocPriority int
 	// FusionMaxNodes caps the MILP search (0 = auto).
 	FusionMaxNodes int
+	// Engine selects the simulator event engine for Execute (sharded
+	// parallel when Engine.Shards > 1; sequential otherwise). Purely a
+	// performance knob: the sharded engine is bit-identical to the
+	// sequential one, so no measurement changes with it.
+	Engine gpusim.EngineOptions
 }
 
 // Framework orchestrates the offline and online passes of Figure 4.
@@ -450,6 +455,7 @@ func (f *Framework) ExecuteChaos(p *ExecPlan, iterations int, cp *chaos.Plan) (*
 		PreprocPriority:   p.Opts.PreprocPriority,
 		PreprocStreams:    streams,
 		Chaos:             cp,
+		Engine:            p.Opts.Engine,
 	})
 }
 

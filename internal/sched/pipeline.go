@@ -73,6 +73,12 @@ type PipelineOptions struct {
 	// pipeline DAG before simulation. A nil or empty plan leaves the
 	// simulation bit-identical to an unperturbed run.
 	Chaos *chaos.Plan
+	// Engine selects the simulator event engine. The zero value keeps
+	// the sequential engine; Engine.Shards > 1 opts into the sharded
+	// parallel engine. Engine selection is a pure performance knob:
+	// sharded results are bit-identical to sequential ones, so every
+	// PipelineStats field is unchanged by it.
+	Engine gpusim.EngineOptions
 }
 
 func (o PipelineOptions) withDefaults() PipelineOptions {
@@ -143,6 +149,7 @@ func BuildAndRun(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.Placemen
 	if err := opts.Chaos.Apply(b.sim); err != nil {
 		return nil, err
 	}
+	b.sim.SetEngineOptions(opts.Engine)
 
 	res, err := b.sim.Run()
 	if err != nil {

@@ -32,4 +32,9 @@ for field in sequential_build_ns fast_warm_build_ns build_speedup solver_speedup
 	grep -q "\"$field\"" "$tmp_bench" || { echo "verify: $tmp_bench missing $field" >&2; exit 1; }
 done
 rm -f "$tmp_bench"
+echo "== shard-equivalence smoke"
+# One 2-shard run of the shard benchmark DAG must digest bit-identically
+# to a sequential run; rapbench exits nonzero on any drift, so tier-1
+# fails fast if the parallel engine diverges from the sequential one.
+go run ./cmd/rapbench -shard-smoke
 echo "verify: OK"
