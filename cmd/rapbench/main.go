@@ -10,6 +10,9 @@
 //	rapbench -engine-bench           # time the gpusim engine, write BENCH_engine.json
 //	rapbench -chaos                  # perturbation-severity sweep, write BENCH_chaos.json
 //	rapbench -planner-bench          # time the online planner, write BENCH_planner.json
+//	rapbench -cluster                # fleet scheduling at 1024 GPUs, write BENCH_cluster.json
+//	rapbench -shard-smoke            # sharded-engine digest gate (verify.sh)
+//	rapbench -cluster-smoke          # fleet determinism gate (verify.sh)
 package main
 
 import (
@@ -48,11 +51,44 @@ func main() {
 	chaosTrace := flag.String("chaos-trace", "", "optional Chrome trace path: RAP at top severity with perturbation spans")
 	plannerBench := flag.Bool("planner-bench", false, "benchmark the online planner and exit")
 	plannerOut := flag.String("planner-out", "BENCH_planner.json", "output path for -planner-bench results")
+	clusterMode := flag.Bool("cluster", false, "run the multi-tenant fleet-scheduling experiment and exit")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "output path for the -cluster JSON report")
+	clusterNodes := flag.Int("cluster-nodes", 128, "fleet NVSwitch nodes for -cluster")
+	clusterNodeGPUs := flag.Int("cluster-node-gpus", 8, "GPUs per node for -cluster")
+	clusterJobs := flag.Int("cluster-jobs", 180, "job-trace length for -cluster")
+	clusterSeed := flag.Int64("cluster-seed", 1, "seed for the -cluster job trace")
+	clusterSmoke := flag.Bool("cluster-smoke", false, "quick fleet double-run digest equality check and exit (used by verify.sh)")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *shardSmoke {
 		if err := runShardSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "rapbench: shard-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterSmoke {
+		if err := runClusterSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: cluster-smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterMode {
+		cfg := experiments.ClusterSweepConfig{
+			Nodes:       *clusterNodes,
+			GPUsPerNode: *clusterNodeGPUs,
+			Jobs:        *clusterJobs,
+			Seed:        *clusterSeed,
+		}
+		if *quick {
+			cfg.Nodes, cfg.GPUsPerNode, cfg.Jobs = 8, 4, 24
+		}
+		if err := runCluster(*clusterOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rapbench: cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -628,5 +664,122 @@ func runPlannerBench(path string, quick bool) error {
 		report.BuildSpeedup,
 		report.ProbesSaved, report.ProbeHits+report.ProbeMisses,
 		report.SolverSpeedup, path)
+	return nil
+}
+
+// usage prints the mode-grouped help text, one group per family of
+// rapbench entry points.
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `rapbench regenerates the RAP paper's evaluation tables and benchmark reports.
+
+Paper experiments (default mode):
+  rapbench -exp all            every table and figure (Figure 9 full grid is slow)
+  rapbench -exp fig9 -quick    reduced grids for slow experiments
+  rapbench -list               list experiment ids
+
+Benchmarks (each writes a JSON report and exits):
+  rapbench -engine-bench       gpusim engine timing         -> BENCH_engine.json
+  rapbench -planner-bench      online planner timing        -> BENCH_planner.json
+  rapbench -chaos              perturbation-severity sweep  -> BENCH_chaos.json
+  rapbench -cluster            multi-tenant fleet scheduling (1024 simulated GPUs,
+                               RAP-aware packing vs first-fit) -> BENCH_cluster.json
+
+Smoke gates (used by scripts/verify.sh; exit non-zero on drift):
+  rapbench -shard-smoke        sharded engine bit-identical to sequential
+  rapbench -cluster-smoke      fleet simulation digest-stable across reruns
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+// runCluster runs the fleet-scheduling experiment twice from scratch
+// and demands bit-identical per-policy digests — the fleet-scale
+// determinism the cluster simulator promises — then writes the JSON
+// report and re-reads it as a self-check.
+func runCluster(path string, cfg experiments.ClusterSweepConfig) error {
+	start := time.Now()
+	res, err := experiments.ClusterSweep(cfg)
+	if err != nil {
+		return err
+	}
+	again, err := experiments.ClusterSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) != len(again.Rows) {
+		return fmt.Errorf("rerun produced %d policy rows, want %d", len(again.Rows), len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if again.Rows[i].Digest != row.Digest {
+			return fmt.Errorf("policy %s digest drifted across reruns: %s vs %s",
+				row.Policy, row.Digest[:16], again.Rows[i].Digest[:16])
+		}
+	}
+	fmt.Print(res.Render())
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// Self-check: the written report must parse and carry the digests
+	// the determinism gate compares.
+	back, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var check experiments.ClusterResult
+	if err := json.Unmarshal(back, &check); err != nil {
+		return fmt.Errorf("re-reading %s: %w", path, err)
+	}
+	if len(check.Rows) != len(res.Rows) {
+		return fmt.Errorf("re-reading %s: %d rows, want %d", path, len(check.Rows), len(res.Rows))
+	}
+	for i, row := range check.Rows {
+		if row.Digest == "" || row.Digest != res.Rows[i].Digest {
+			return fmt.Errorf("re-reading %s: policy %s digest mismatch", path, row.Policy)
+		}
+	}
+
+	fmt.Printf("\ncluster report -> %s (%d GPUs, %d jobs, double run in %s; digests stable)\n",
+		path, res.GPUs, res.Jobs, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runClusterSmoke is the verify.sh gate: a 2-node x 4-GPU fleet with 6
+// jobs, simulated twice from scratch; every policy's report digest
+// must match bit for bit.
+func runClusterSmoke() error {
+	cfg := experiments.ClusterSweepConfig{Nodes: 2, GPUsPerNode: 4, Jobs: 6, MeanGapUs: 500}
+	a, err := experiments.ClusterSweep(cfg)
+	if err != nil {
+		return err
+	}
+	b, err := experiments.ClusterSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if len(a.Rows) != 2 || len(b.Rows) != 2 {
+		return fmt.Errorf("expected 2 policy rows, got %d and %d", len(a.Rows), len(b.Rows))
+	}
+	for i, row := range a.Rows {
+		if row.Digest == "" || row.Digest != b.Rows[i].Digest {
+			return fmt.Errorf("policy %s digest diverged across reruns: %s vs %s",
+				row.Policy, row.Digest[:16], b.Rows[i].Digest[:16])
+		}
+		if !(row.GPUUtil > 0 && row.GPUUtil <= 1) {
+			return fmt.Errorf("policy %s utilization %g outside (0,1]", row.Policy, row.GPUUtil)
+		}
+		fmt.Printf("cluster-smoke: %s digest %s matches rerun (%d jobs on %d GPUs)\n",
+			row.Policy, row.Digest[:16], a.Jobs, a.GPUs)
+	}
 	return nil
 }

@@ -53,6 +53,16 @@ type HostStallWindow struct {
 	Scale  float64
 }
 
+// FabricWindow scales one NVSwitch node's inter-node fabric link during
+// [T0, T1) µs — spine congestion from co-located tenants or a flapping
+// optical link. It only makes sense against a simulation carrying a
+// multi-node topology (gpusim.SetTopology); Apply fails otherwise.
+type FabricWindow struct {
+	Node   int
+	T0, T1 float64 //rap:unit us
+	Scale  float64
+}
+
 // StragglerSpec inflates the work of a deterministic, seed-selected
 // subset of GPU kernels — the straggler kernels every large fleet sees.
 type StragglerSpec struct {
@@ -73,13 +83,15 @@ type Plan struct {
 	Throttle  []ThrottleWindow
 	Link      []LinkWindow
 	HostStall []HostStallWindow
+	Fabric    []FabricWindow
 	Straggler StragglerSpec
 }
 
 // Empty reports whether applying the plan would perturb nothing.
 func (p *Plan) Empty() bool {
 	return p == nil ||
-		(len(p.Throttle) == 0 && len(p.Link) == 0 && len(p.HostStall) == 0 && p.Straggler.Prob <= 0)
+		(len(p.Throttle) == 0 && len(p.Link) == 0 && len(p.HostStall) == 0 &&
+			len(p.Fabric) == 0 && p.Straggler.Prob <= 0)
 }
 
 // Validate checks window intervals and scales without needing a target
@@ -112,6 +124,11 @@ func (p *Plan) Validate() error {
 	}
 	for _, w := range p.HostStall {
 		if err := iv("host-stall", w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+	}
+	for _, w := range p.Fabric {
+		if err := iv("fabric", w.T0, w.T1, w.Scale); err != nil {
 			return err
 		}
 	}
@@ -169,6 +186,14 @@ func (p *Plan) Apply(sim *gpusim.Sim) error {
 			return err
 		}
 	}
+	for _, w := range p.Fabric {
+		if w.Scale >= 1 {
+			continue
+		}
+		if err := sim.AddCapacityWindow(gpusim.ResFabric, w.Node, w.T0, w.T1, w.Scale); err != nil {
+			return err
+		}
+	}
 	if p.Straggler.Prob > 0 {
 		if _, err := sim.InjectStragglers(p.Seed, p.Straggler.Prob, p.Straggler.Factor); err != nil {
 			return err
@@ -211,6 +236,15 @@ func (p *Plan) Spans() []trace.Span {
 			End:   w.T1,
 		})
 	}
+	for _, w := range p.Fabric {
+		out = append(out, trace.Span{
+			Name:  fmt.Sprintf("fabric[node %d]×%.2f", w.Node, w.Scale),
+			Cat:   "chaos",
+			GPU:   -1,
+			Start: w.T0,
+			End:   w.T1,
+		})
+	}
 	return out
 }
 
@@ -224,6 +258,11 @@ type Scenario struct {
 	// Severity in [0,1] scales both how many windows the plan carries
 	// and how deep they cut. 0 yields the empty plan.
 	Severity float64
+	// NumNodes, when > 1, additionally targets the inter-node fabric
+	// links of a multi-node topology with FabricWindows. Zero (the old
+	// zero value) or 1 generates none, so pre-topology scenarios yield
+	// byte-identical plans.
+	NumNodes int
 }
 
 // NewPlan builds a randomized perturbation plan from a seed: window
@@ -289,6 +328,20 @@ func NewPlan(seed int64, sc Scenario) (*Plan, error) {
 	for i := 0; i < nHost; i++ {
 		t0, t1 := window()
 		p.HostStall = append(p.HostStall, HostStallWindow{T0: t0, T1: t1, Scale: depth()})
+	}
+	// Fabric windows draw after every legacy window kind so a scenario
+	// with NumNodes ≤ 1 consumes exactly the historical variate sequence.
+	if sc.NumNodes > 1 {
+		nFabric := 1 + int(sev*float64(sc.NumNodes)+0.5)
+		for i := 0; i < nFabric; i++ {
+			t0, t1 := window()
+			p.Fabric = append(p.Fabric, FabricWindow{
+				Node:  rng.Intn(sc.NumNodes),
+				T0:    t0,
+				T1:    t1,
+				Scale: depth(),
+			})
+		}
 	}
 	p.Straggler = StragglerSpec{
 		Prob:   0.05 + 0.20*sev,

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"rap/internal/gpusim"
+	"rap/internal/topo"
+)
+
+// fabricDAG builds a 2-node × 2-GPU DAG with cross-node traffic.
+func fabricDAG(t *testing.T) *gpusim.Sim {
+	t.Helper()
+	s := gpusim.NewSim(gpusim.ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 8})
+	tp := topo.Uniform(2, 2)
+	tp.FabricGBs = 200
+	if err := s.SetTopology(tp); err != nil {
+		t.Fatal(err)
+	}
+	s.AddComm("x", 0, 2, 1e6)
+	s.AddComm("y", 1, 3, 1e6)
+	return s
+}
+
+// TestFabricWindowApply: a fabric window slows cross-node flows and is
+// valid only against a multi-node simulation.
+func TestFabricWindowApply(t *testing.T) {
+	base, err := fabricDAG(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{Fabric: []FabricWindow{
+		{Node: 0, T0: 0, T1: 1e9, Scale: 0.3},
+		{Node: 1, T0: 0, T1: 1e9, Scale: 0.3},
+	}}
+	if p.Empty() {
+		t.Fatal("fabric-only plan misreported as empty")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := fabricDAG(t)
+	if err := p.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Makespan > base.Makespan) {
+		t.Fatalf("fabric windows did not stretch the run: %g <= %g", res.Makespan, base.Makespan)
+	}
+
+	// Scale-1 windows are skipped and perturb nothing.
+	inert := &Plan{Fabric: []FabricWindow{{Node: 0, T0: 0, T1: 10, Scale: 1}}}
+	s = fabricDAG(t)
+	if err := inert.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Fatal("scale-1 fabric window perturbed the result")
+	}
+
+	// Against a flat simulation, Apply surfaces the missing fabric.
+	flat := testDAG()
+	if err := p.Apply(flat); err == nil {
+		t.Fatal("fabric window accepted on a flat simulation")
+	}
+
+	bad := &Plan{Fabric: []FabricWindow{{Node: 0, T0: 10, T1: 10, Scale: 0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty fabric interval accepted")
+	}
+}
+
+// TestNewPlanFabric: multi-node scenarios generate fabric windows;
+// flat scenarios generate byte-identical plans to the pre-fabric
+// generator (no variate drift).
+func TestNewPlanFabric(t *testing.T) {
+	flatSc := Scenario{NumGPUs: 8, HorizonUs: 10000, Severity: 0.6}
+	nodeSc := flatSc
+	nodeSc.NumNodes = 4
+
+	flat, err := NewPlan(3, flatSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Fabric) != 0 {
+		t.Fatalf("flat scenario generated %d fabric windows", len(flat.Fabric))
+	}
+	multi, err := NewPlan(3, nodeSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Fabric) == 0 {
+		t.Fatal("multi-node scenario generated no fabric windows")
+	}
+	for _, w := range multi.Fabric {
+		if w.Node < 0 || w.Node >= 4 || !(w.T1 > w.T0) || !(w.Scale >= 0 && w.Scale <= 1) {
+			t.Fatalf("fabric window out of spec: %+v", w)
+		}
+	}
+	if err := multi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything before the fabric draws is shared with the flat plan.
+	if !reflect.DeepEqual(flat.Throttle, multi.Throttle) ||
+		!reflect.DeepEqual(flat.Link, multi.Link) ||
+		!reflect.DeepEqual(flat.HostStall, multi.HostStall) {
+		t.Fatal("adding NumNodes shifted the legacy window draws")
+	}
+	// Fabric windows show up in the trace annotations.
+	if got, want := len(multi.Spans()), len(multi.Throttle)+len(multi.Link)+len(multi.HostStall)+len(multi.Fabric); got != want {
+		t.Fatalf("got %d spans, want %d", got, want)
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"rap/internal/topo"
+)
+
+// FleetView is the allocation state a placement policy sees: the fleet
+// topology and which GPUs are currently free.
+type FleetView struct {
+	Topo *topo.Topology
+	Free []bool // indexed by fleet GPU
+}
+
+// freeOnNode returns node n's free GPUs in ascending index order.
+func (v *FleetView) freeOnNode(n int) []int {
+	var out []int
+	for g := range v.Free {
+		if v.Free[g] && v.Topo.NodeOf(g) == n {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Policy decides which free GPUs a job receives. Place returns exactly
+// want GPU indices, or nil when the fleet cannot currently host the
+// job. Implementations must be deterministic: the same view and want
+// always select the same GPUs.
+type Policy interface {
+	Name() string
+	Place(v *FleetView, want int) []int
+}
+
+// Pack is the RAP-aware packing policy: it minimizes the number of
+// NVSwitch nodes a job spans, because every node boundary the job
+// crosses puts its all-to-all traffic onto the oversubscribed fabric.
+// Among nodes that can host the job whole it picks the one with the
+// fewest free GPUs (best fit — large holes stay available for large
+// jobs); when the job must span nodes it takes the emptiest nodes
+// first, so the span — and the cross-node traffic share — stays
+// minimal. Ties always break toward the lowest node index.
+type Pack struct{}
+
+// Name implements Policy.
+func (Pack) Name() string { return "pack" }
+
+// Place implements Policy.
+func (Pack) Place(v *FleetView, want int) []int {
+	nodes := v.Topo.NumNodes()
+	freeBy := make([][]int, nodes)
+	totalFree := 0
+	for n := 0; n < nodes; n++ {
+		freeBy[n] = v.freeOnNode(n)
+		totalFree += len(freeBy[n])
+	}
+	if totalFree < want {
+		return nil
+	}
+	// Best fit within one node.
+	best := -1
+	for n := 0; n < nodes; n++ {
+		if len(freeBy[n]) < want {
+			continue
+		}
+		if best < 0 || len(freeBy[n]) < len(freeBy[best]) {
+			best = n
+		}
+	}
+	if best >= 0 {
+		return freeBy[best][:want]
+	}
+	// Span as few nodes as possible: emptiest (most free) nodes first,
+	// lowest index on ties. Selection sort keeps the order deterministic
+	// without reordering the node slices themselves.
+	order := make([]int, 0, nodes)
+	used := make([]bool, nodes)
+	for len(order) < nodes {
+		pick := -1
+		for n := 0; n < nodes; n++ {
+			if used[n] {
+				continue
+			}
+			if pick < 0 || len(freeBy[n]) > len(freeBy[pick]) {
+				pick = n
+			}
+		}
+		used[pick] = true
+		order = append(order, pick)
+	}
+	var alloc []int
+	for _, n := range order {
+		for _, g := range freeBy[n] {
+			alloc = append(alloc, g)
+			if len(alloc) == want {
+				return alloc
+			}
+		}
+	}
+	return nil // unreachable: totalFree >= want
+}
+
+// FirstFit is the naive node-blind baseline: the lowest-indexed free
+// GPUs, wherever they sit. On a fragmented fleet it happily scatters a
+// job across many nodes, paying fabric contention the Pack policy
+// avoids — the cluster experiments quantify exactly that gap.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Place implements Policy.
+func (FirstFit) Place(v *FleetView, want int) []int {
+	var alloc []int
+	for g := range v.Free {
+		if !v.Free[g] {
+			continue
+		}
+		alloc = append(alloc, g)
+		if len(alloc) == want {
+			return alloc
+		}
+	}
+	return nil
+}

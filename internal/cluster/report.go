@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// JobResult is one job's scheduling outcome.
+type JobResult struct {
+	ID int
+	// GPUs and Nodes are the allocation's size and node span.
+	GPUs  int
+	Nodes int
+	// The job's lifecycle instants and the derived scheduling metrics.
+	ArrivalUs float64 //rap:unit us
+	StartUs   float64 //rap:unit us
+	EndUs     float64 //rap:unit us
+	QueueUs   float64 //rap:unit us
+	JCTUs     float64 //rap:unit us
+}
+
+// Report is the fleet simulation's outcome: per-job results in job-ID
+// order plus the aggregate scheduling metrics the policy comparison
+// reads.
+type Report struct {
+	Policy string
+	// Fleet shape and trace size.
+	GPUs, Nodes, Jobs int
+	// MakespanUs is the completion time of the last job.
+	MakespanUs float64 //rap:unit us
+	// AvgQueueUs / MaxQueueUs summarize scheduling delay; AvgJCTUs is
+	// the mean job completion time (queueing + running).
+	AvgQueueUs float64 //rap:unit us
+	MaxQueueUs float64 //rap:unit us
+	AvgJCTUs   float64 //rap:unit us
+	// GPUUtil is allocated GPU-time over fleet GPU-time: the fraction
+	// of the fleet the schedule kept busy until the last completion.
+	GPUUtil float64
+	Results []JobResult
+}
+
+// Digest hashes every field of the report with exact float bit
+// patterns, so two reports digest equal iff they are bit-identical —
+// the determinism currency of the cluster simulator, mirroring
+// gpusim.ResultDigest.
+func (r *Report) Digest() string {
+	h := sha256.New()
+	f := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	str := func(s string) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(s)))
+		h.Write(b[:])
+		h.Write([]byte(s))
+	}
+	str(r.Policy)
+	f(float64(r.GPUs))
+	f(float64(r.Nodes))
+	f(float64(r.Jobs))
+	f(r.MakespanUs)
+	f(r.AvgQueueUs)
+	f(r.MaxQueueUs)
+	f(r.AvgJCTUs)
+	f(r.GPUUtil)
+	f(float64(len(r.Results)))
+	for _, jr := range r.Results {
+		f(float64(jr.ID))
+		f(float64(jr.GPUs))
+		f(float64(jr.Nodes))
+		f(jr.ArrivalUs)
+		f(jr.StartUs)
+		f(jr.EndUs)
+		f(jr.QueueUs)
+		f(jr.JCTUs)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

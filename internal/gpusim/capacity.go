@@ -33,6 +33,10 @@ const (
 	ResCopyEngine
 	// ResHostCPU is the host-wide CPU worker pool (gpu index ignored).
 	ResHostCPU
+	// ResFabric is one node's inter-node fabric link; the gpu index is
+	// the *node* index. It exists only when SetTopology installed a
+	// multi-node topology — windows on it fail otherwise.
+	ResFabric
 )
 
 // String returns the class name.
@@ -50,6 +54,8 @@ func (rc ResourceClass) String() string {
 		return "copy"
 	case ResHostCPU:
 		return "hostcpu"
+	case ResFabric:
+		return "fabric"
 	default:
 		return fmt.Sprintf("resource(%d)", int(rc))
 	}
@@ -70,6 +76,8 @@ func (rc ResourceClass) kind() (resKind, bool) {
 		return resCopy, true
 	case ResHostCPU:
 		return resCPU, true
+	case ResFabric:
+		return resFabric, true
 	default:
 		return 0, false
 	}
@@ -107,10 +115,20 @@ func (s *Sim) AddCapacityWindow(rc ResourceClass, gpu int, t0, t1, scale float64
 	if !ok {
 		return fmt.Errorf("gpusim: unknown resource class %d", int(rc))
 	}
-	if kind == resCPU {
+	switch kind {
+	case resCPU:
 		gpu = 0
-	} else if gpu < 0 || gpu >= s.cfg.NumGPUs {
-		return fmt.Errorf("gpusim: capacity window on %v: gpu %d out of range [0,%d)", rc, gpu, s.cfg.NumGPUs)
+	case resFabric:
+		if s.numFabric == 0 {
+			return fmt.Errorf("gpusim: capacity window on %v: no inter-node fabric (topology absent or flat)", rc)
+		}
+		if gpu < 0 || gpu >= s.numFabric {
+			return fmt.Errorf("gpusim: capacity window on %v: node %d out of range [0,%d)", rc, gpu, s.numFabric)
+		}
+	default:
+		if gpu < 0 || gpu >= s.cfg.NumGPUs {
+			return fmt.Errorf("gpusim: capacity window on %v: gpu %d out of range [0,%d)", rc, gpu, s.cfg.NumGPUs)
+		}
 	}
 	if t0 < 0 {
 		t0 = 0
@@ -170,9 +188,14 @@ type capEvent struct {
 	changes []capChange
 }
 
-// resIndex is the dense kind-major resource index shared by the engine
-// and the reference implementation.
+// resIndex is the dense resource index shared by the engine and the
+// reference implementation: kind-major for the per-GPU kinds (host CPU
+// slot last), with per-node fabric links appended after it (for
+// resFabric the gpu argument is the node index).
 func resIndex(kind resKind, gpu, numGPUs int) int32 {
+	if kind == resFabric {
+		return int32(numResKinds*numGPUs - (numGPUs - 1) + gpu)
+	}
 	return int32(int(kind)*numGPUs + gpu)
 }
 
@@ -185,13 +208,27 @@ func resIndex(kind resKind, gpu, numGPUs int) int32 {
 // scanned in insertion order, boundaries sorted by (time, resource).
 func compileCapWindows(s *Sim) (caps []float64, events []capEvent) {
 	g := s.cfg.NumGPUs
-	numRes := numResKinds*g - (g - 1)
+	baseRes := numResKinds*g - (g - 1)
+	numRes := baseRes + s.numFabric
 	caps = make([]float64, numRes)
 	for i := range caps {
 		caps[i] = 1
 	}
+	// Fabric oversubscription is a permanent capacity reduction seeded
+	// here: each fabric link starts at 1/Oversub, and any window on it
+	// scales that base multiplicatively. With no fabric resources this
+	// loop is empty and the array is exactly the pre-topology one.
+	for i := baseRes; i < numRes; i++ {
+		caps[i] = s.fabricCap
+	}
 	if len(s.capWindows) == 0 {
 		return caps, nil
+	}
+	base := func(idx int32) float64 {
+		if int(idx) >= baseRes {
+			return s.fabricCap
+		}
+		return 1
 	}
 
 	// Group windows per dense resource index (slice-indexed: no map
@@ -238,7 +275,7 @@ func compileCapWindows(s *Sim) (caps []float64, events []capEvent) {
 		}
 		sort.Float64s(ts)
 		prev := valueAt(ws, 0)
-		caps[idx] = prev
+		caps[idx] = base(idx) * prev
 		for i, t := range ts {
 			//lint:ignore floateq exact dedup of sorted boundary times
 			if t <= 0 || (i > 0 && t == ts[i-1]) {
@@ -249,7 +286,7 @@ func compileCapWindows(s *Sim) (caps []float64, events []capEvent) {
 			if v == prev {
 				continue
 			}
-			changes = append(changes, change{t: t, idx: idx, cap: v})
+			changes = append(changes, change{t: t, idx: idx, cap: base(idx) * v})
 			prev = v
 		}
 	}

@@ -221,7 +221,10 @@ func (s *Sim) Run() (*Result, error) {
 
 func newEngine(s *Sim) *engine {
 	g := s.cfg.NumGPUs
-	numRes := numResKinds*g - (g - 1) // 5 per-GPU kinds ×g, one CPU slot
+	// 5 per-GPU kinds ×g, one CPU slot, then one fabric link per node —
+	// zero of those without a multi-node topology, so the layout (and
+	// every float trajectory derived from it) is unchanged.
+	numRes := numResKinds*g - (g - 1) + s.numFabric
 	e := &engine{
 		s:       s,
 		numGPUs: g,
@@ -243,7 +246,7 @@ func newEngine(s *Sim) *engine {
 		e.demOff[i] = int32(len(e.dems))
 		for _, d := range o.demands {
 			e.dems = append(e.dems, rtDemand{
-				idx:  int32(int(d.kind)*g + d.gpu),
+				idx:  resIndex(d.kind, d.gpu, g),
 				kind: d.kind,
 				dem:  d.val,
 			})

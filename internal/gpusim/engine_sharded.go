@@ -137,7 +137,11 @@ func (s *Sim) runRaced(shards int) (*Result, error) {
 // deps, and children (fixed once Run has wired the DAG) — is shared
 // read-only between the clones.
 func (s *Sim) cloneForRace() *Sim {
-	c := &Sim{cfg: s.cfg, engine: s.engine, ran: true, capWindows: s.capWindows}
+	c := &Sim{
+		cfg: s.cfg, engine: s.engine, ran: true, capWindows: s.capWindows,
+		topo: s.topo, numFabric: s.numFabric, nodeOf: s.nodeOf,
+		nodeSize: s.nodeSize, fabricShare: s.fabricShare, fabricCap: s.fabricCap,
+	}
 	c.ops = make([]*op, len(s.ops))
 	for i, o := range s.ops {
 		co := *o
@@ -176,6 +180,11 @@ type shardedEngine struct {
 	shards []shardState
 	blk    int  // GPUs per shard (ceil division)
 	cross  bool // some op's demands span two shards
+	// fabricBase is the dense index of the first fabric link (== the
+	// total non-fabric resource count, so the host CPU slot sits at
+	// fabricBase-1); fabricOwner[n] is node n's owning shard.
+	fabricBase  int
+	fabricOwner []int
 
 	now    float64
 	done   int
@@ -196,6 +205,22 @@ func newShardedEngine(s *Sim, shards int, stop *atomic.Bool) *shardedEngine {
 	blk := (g + shards - 1) / shards
 	nshards := (g + blk - 1) / blk // drop empty tail shards
 	e := &shardedEngine{engine: core, blk: blk}
+	e.fabricBase = numResKinds*g - (g - 1)
+	if s.numFabric > 0 {
+		e.fabricOwner = make([]int, s.numFabric)
+		first := make([]int, s.numFabric)
+		for i := range first {
+			first[i] = -1
+		}
+		for gpu, node := range s.nodeOf {
+			if first[node] < 0 {
+				first[node] = gpu
+			}
+		}
+		for n, gpu := range first {
+			e.fabricOwner[n] = gpu / blk
+		}
+	}
 	e.shards = make([]shardState, nshards)
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -233,10 +258,15 @@ func (e *shardedEngine) shardOfOp(o *op) int {
 }
 
 // resOwner maps a dense resource index to the shard that owns it. The
-// single host-wide CPU slot (last index) belongs to shard 0; per-GPU
-// resources follow the kind-major layout, so the GPU is idx mod NumGPUs.
+// single host-wide CPU slot belongs to shard 0; a per-node fabric link
+// (index past the CPU slot) belongs to the shard of its node's first
+// GPU; per-GPU resources follow the kind-major layout, so the GPU is
+// idx mod NumGPUs.
 func (e *shardedEngine) resOwner(idx int32) int {
-	if int(idx) == len(e.res)-1 {
+	if n := int(idx) - e.fabricBase; n >= 0 {
+		return e.fabricOwner[n]
+	}
+	if int(idx) == e.fabricBase-1 {
 		return 0
 	}
 	return (int(idx) % e.numGPUs) / e.blk

@@ -30,6 +30,8 @@ package gpusim
 import (
 	"fmt"
 	"math"
+
+	"rap/internal/topo"
 )
 
 // Time values are microseconds throughout the simulator.
@@ -175,10 +177,19 @@ const (
 	resCPU // host-wide; gpu index ignored
 )
 
-// numResKinds counts the resource classes; resCPU must stay last (the
-// engine lays resources out as kind-major dense arrays, with the single
-// host-wide CPU slot at the end).
+// numResKinds counts the kind-major resource classes; resCPU must stay
+// last (the engine lays resources out as kind-major dense arrays, with
+// the single host-wide CPU slot at the end).
 const numResKinds = int(resCPU) + 1
+
+// resFabric is the per-node inter-node fabric link. It sits outside the
+// kind-major layout: fabric resources are one per *node*, not per GPU,
+// and occupy dense indices after the host-CPU slot — zero of them exist
+// unless SetTopology installed a multi-node topology, which is what
+// keeps flat/nil-topology simulations bit-identical to the layout that
+// predates hierarchical topologies. For fabric demands the demandSpec
+// gpu field holds the node index.
+const resFabric = resKind(numResKinds)
 
 // demandSpec is one (resource, demand) requirement of an op. Demands are
 // stored as a short slice (at most two entries) rather than a map: the
@@ -385,6 +396,19 @@ type Sim struct {
 	// capWindows holds the time-varying capacity scalings (see
 	// capacity.go); empty means every resource has capacity 1.0 forever.
 	capWindows []capWindow
+
+	// Hierarchical-topology state, resolved by SetTopology. With no
+	// topology (or a flat one) numFabric is 0, no fabric resources
+	// exist, and every Add* path is byte-for-byte the pre-topology one.
+	topo      *topo.Topology
+	numFabric int   // fabric links = nodes; 0 disables fabric charging
+	nodeOf    []int // GPU → node (shared read-only with the topology)
+	nodeSize  []int // node → GPU count
+	// fabricShare is the fabric demand of one full-rate NVLink flow:
+	// LinkGBs/FabricGBs. fabricCap is each fabric link's capacity,
+	// 1/Oversub, seeded through the capacity step-function machinery.
+	fabricShare float64
+	fabricCap   float64
 }
 
 // NewSim creates a simulator for the given cluster.
@@ -396,6 +420,69 @@ func NewSim(cfg ClusterConfig) *Sim {
 
 // Config returns the (defaulted) cluster configuration.
 func (s *Sim) Config() ClusterConfig { return s.cfg }
+
+// SetTopology installs a hierarchical topology: GPUs grouped into
+// NVSwitch nodes behind an oversubscribed inter-node fabric. Each node
+// gets one fabric-link resource; cross-node transfers (AddComm between
+// GPUs on different nodes) and the cross-node share of collectives
+// (AddLinkBusy) charge it in addition to the endpoints' NVLink in/out.
+// One full-rate NVLink flow demands LinkGBs/FabricGBs of a link whose
+// capacity is 1/Oversub — oversubscription rides the same capacity
+// machinery as perturbation windows (capacity.go), so AddCapacityWindow
+// on ResFabric composes multiplicatively with it.
+//
+// Because fabric demands are resolved at add time, SetTopology must
+// precede every Add* call whenever fabric links are involved — that is,
+// whenever the old or new topology has more than one node. A nil or
+// single-node (flat) topology creates no fabric resources and leaves
+// the simulation bit-identical to one that predates topologies — pinned
+// by the golden back-compat suite — so installing one is legal at any
+// point before Run.
+func (s *Sim) SetTopology(t *topo.Topology) error {
+	if s.ran {
+		return fmt.Errorf("gpusim: SetTopology after Run")
+	}
+	if len(s.ops) > 0 && (s.numFabric > 0 || (t != nil && t.NumNodes() > 1)) {
+		return fmt.Errorf("gpusim: SetTopology after ops were added (a multi-node topology must be set before the first Add call)")
+	}
+	s.topo, s.numFabric, s.nodeOf, s.nodeSize = nil, 0, nil, nil
+	s.fabricShare, s.fabricCap = 0, 0
+	if t == nil {
+		return nil
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.NumGPUs() != s.cfg.NumGPUs {
+		return fmt.Errorf("gpusim: topology has %d GPUs, cluster %d", t.NumGPUs(), s.cfg.NumGPUs)
+	}
+	s.topo = t
+	if t.NumNodes() <= 1 {
+		return nil // flat: no fabric links, identical to no topology
+	}
+	s.numFabric = t.NumNodes()
+	s.nodeOf = make([]int, s.cfg.NumGPUs)
+	s.nodeSize = make([]int, s.numFabric)
+	for g := range s.nodeOf {
+		n := t.NodeOf(g)
+		s.nodeOf[g] = n
+		s.nodeSize[n]++
+	}
+	fabricGBs := t.FabricGBs
+	if fabricGBs <= 0 {
+		fabricGBs = s.cfg.LinkGBs
+	}
+	s.fabricShare = s.cfg.LinkGBs / fabricGBs
+	oversub := t.Oversub
+	if oversub < 1 {
+		oversub = 1
+	}
+	s.fabricCap = 1 / oversub
+	return nil
+}
+
+// Topology returns the installed topology (nil when none was set).
+func (s *Sim) Topology() *topo.Topology { return s.topo }
 
 // SetEngineOptions configures how Run executes the DAG. It must be
 // called before Run; the options never change observable results.
@@ -524,6 +611,17 @@ func (s *Sim) AddComm(name string, src, dst int, bytes float64, opts ...OpOption
 			{resLinkIn, dst, 1},
 		},
 	}
+	// A cross-node transfer additionally occupies both endpoints' fabric
+	// links: it leaves the source node's uplink and enters the
+	// destination node's. The demand is the flow's NVLink rate expressed
+	// in fabric-link units, so a slower fabric (FabricGBs < LinkGBs)
+	// saturates below one flow and slows it even alone.
+	if s.numFabric > 0 && s.nodeOf[src] != s.nodeOf[dst] {
+		o.demands = append(o.demands,
+			demandSpec{resFabric, s.nodeOf[src], s.fabricShare},
+			demandSpec{resFabric, s.nodeOf[dst], s.fabricShare},
+		)
+	}
 	return s.add(o, opts...)
 }
 
@@ -544,6 +642,17 @@ func (s *Sim) AddLinkBusy(name string, g int, bytes float64, opts ...OpOption) O
 			{resLinkOut, g, 1},
 			{resLinkIn, g, 1},
 		},
+	}
+	// Under a multi-node topology a collective participant's traffic is
+	// partly cross-node: with all-to-all-style uniform peering, the
+	// fraction of g's peers outside its node is (N−k)/(N−1) for a node
+	// of k GPUs. That share of the flow transits g's node fabric link.
+	if s.numFabric > 0 && s.cfg.NumGPUs > 1 {
+		node := s.nodeOf[g]
+		frac := float64(s.cfg.NumGPUs-s.nodeSize[node]) / float64(s.cfg.NumGPUs-1)
+		if frac > 0 {
+			o.demands = append(o.demands, demandSpec{resFabric, node, frac * s.fabricShare})
+		}
 	}
 	return s.add(o, opts...)
 }

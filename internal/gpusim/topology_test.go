@@ -1,0 +1,394 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rap/internal/topo"
+)
+
+// Behavioral tests for the hierarchical topology: fabric charging on
+// cross-node transfers and collectives, oversubscription as a seeded
+// capacity, window validation, and the SetTopology life-cycle rules.
+
+func mustRunMakespan(t *testing.T, s *Sim) float64 {
+	t.Helper()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Makespan
+}
+
+// commMakespan runs a single point-to-point transfer on a 4-GPU cluster
+// under the given topology (nil for none) and returns its makespan.
+func commMakespan(t *testing.T, tp *topo.Topology, src, dst int) float64 {
+	t.Helper()
+	s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16, Policy: FairShare})
+	if err := s.SetTopology(tp); err != nil {
+		t.Fatalf("SetTopology: %v", err)
+	}
+	s.AddComm("x", src, dst, 1e6)
+	return mustRunMakespan(t, s)
+}
+
+func TestSetTopologyValidation(t *testing.T) {
+	s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16})
+	if err := s.SetTopology(topo.Uniform(2, 3)); err == nil {
+		t.Fatalf("GPU-count mismatch must fail")
+	}
+	bad := topo.Uniform(2, 2)
+	bad.Oversub = 0.5
+	if err := s.SetTopology(bad); err == nil {
+		t.Fatalf("invalid topology must fail")
+	}
+	tp := topo.Uniform(2, 2)
+	if err := s.SetTopology(tp); err != nil {
+		t.Fatalf("SetTopology: %v", err)
+	}
+	if s.Topology() != tp {
+		t.Fatalf("Topology() getter must return the installed topology")
+	}
+
+	// Multi-node installs are frozen once ops exist; flat and nil — both
+	// provably inert — stay legal until Run.
+	s = NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16})
+	s.AddKernel(0, Kernel{Name: "k", Work: 10, Demand: Demand{SM: 1}})
+	if err := s.SetTopology(topo.Uniform(2, 2)); err == nil {
+		t.Fatalf("multi-node SetTopology after ops must fail")
+	}
+	if err := s.SetTopology(topo.Flat(4)); err != nil {
+		t.Fatalf("flat SetTopology after ops: %v", err)
+	}
+	if err := s.SetTopology(nil); err != nil {
+		t.Fatalf("nil SetTopology after ops: %v", err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTopology(nil); err == nil {
+		t.Fatalf("SetTopology after Run must fail")
+	}
+
+	// Once a multi-node topology is installed, replacing it after ops is
+	// also frozen (the existing ops' fabric demands assume it).
+	s = NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16})
+	if err := s.SetTopology(topo.Uniform(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.AddComm("c", 0, 2, 1e5)
+	if err := s.SetTopology(nil); err == nil {
+		t.Fatalf("clearing a multi-node topology after ops must fail")
+	}
+}
+
+func TestFabricWindowValidation(t *testing.T) {
+	flat := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16})
+	err := flat.AddCapacityWindow(ResFabric, 0, 0, 10, 0.5)
+	if err == nil || !strings.Contains(err.Error(), "no inter-node fabric") {
+		t.Fatalf("ResFabric window on a flat sim: got %v", err)
+	}
+
+	s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16})
+	if err := s.SetTopology(topo.Uniform(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{-1, 2} {
+		if err := s.AddCapacityWindow(ResFabric, node, 0, 10, 0.5); err == nil {
+			t.Fatalf("ResFabric window on node %d must fail", node)
+		}
+	}
+	for node := 0; node < 2; node++ {
+		if err := s.AddCapacityWindow(ResFabric, node, 0, 10, 0.5); err != nil {
+			t.Fatalf("ResFabric window on node %d: %v", node, err)
+		}
+	}
+	if got := ResFabric.String(); got != "fabric" {
+		t.Fatalf("ResFabric.String() = %q", got)
+	}
+}
+
+// TestCrossNodeCommSlowsOnConstrainedFabric: with FabricGBs below
+// LinkGBs a single cross-node flow oversubscribes its fabric links and
+// runs slower than the same transfer inside one node, which in turn is
+// bit-identical to the transfer on an untopologized cluster.
+func TestCrossNodeCommSlowsOnConstrainedFabric(t *testing.T) {
+	tp := topo.Uniform(2, 2)
+	tp.FabricGBs = 100 // LinkGBs is 200 → one flow demands 2× a fabric link
+
+	cross := commMakespan(t, tp, 0, 2)
+	sameNode := commMakespan(t, tp, 0, 1)
+	flat := commMakespan(t, nil, 0, 1)
+	if !(cross > sameNode) {
+		t.Fatalf("cross-node %g must exceed same-node %g on a constrained fabric", cross, sameNode)
+	}
+	if math.Float64bits(sameNode) != math.Float64bits(flat) {
+		t.Fatalf("same-node transfer %g must be bit-identical to flat %g", sameNode, flat)
+	}
+}
+
+// TestEqualRateFabricInvisible: a fabric matching NVLink rate with no
+// oversubscription never saturates under a single flow, so the whole
+// result digest matches the untopologized run bit-for-bit.
+func TestEqualRateFabricInvisible(t *testing.T) {
+	build := func(tp *topo.Topology) *Sim {
+		s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16, Policy: FairShare})
+		if err := s.SetTopology(tp); err != nil {
+			t.Fatalf("SetTopology: %v", err)
+		}
+		c := s.AddComm("c", 0, 2, 1e6)
+		s.AddKernel(1, Kernel{Name: "k", Work: 20, Demand: Demand{SM: 0.8, MemBW: 0.4}}, WithDeps(c))
+		return s
+	}
+	tp := topo.Uniform(2, 2)
+	tp.FabricGBs = 200
+	tp.Oversub = 1
+	withFabric, err := build(tp).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := build(nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digestResult(withFabric) != digestResult(without) {
+		t.Fatalf("uncontended equal-rate fabric changed the digest")
+	}
+}
+
+// TestOversubscriptionSlowsSingleFlow: oversubscription alone — equal
+// per-flow rates, one flow — costs time, because it is seeded as the
+// fabric link's base capacity 1/O.
+func TestOversubscriptionSlowsSingleFlow(t *testing.T) {
+	mk := func(oversub float64) float64 {
+		tp := topo.Uniform(2, 2)
+		tp.FabricGBs = 200
+		tp.Oversub = oversub
+		return commMakespan(t, tp, 0, 2)
+	}
+	t1, t4 := mk(1), mk(4)
+	if !(t4 > t1) {
+		t.Fatalf("oversub 4 makespan %g must exceed oversub 1 makespan %g", t4, t1)
+	}
+}
+
+// TestFabricContention: two cross-node flows between disjoint GPU pairs
+// never share an NVLink endpoint — on a flat cluster they run at full
+// rate — but they do share the two fabric links, so the topologized run
+// is strictly slower.
+func TestFabricContention(t *testing.T) {
+	build := func(tp *topo.Topology) *Sim {
+		s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16, Policy: FairShare})
+		if err := s.SetTopology(tp); err != nil {
+			t.Fatalf("SetTopology: %v", err)
+		}
+		s.AddComm("a", 0, 2, 1e6)
+		s.AddComm("b", 1, 3, 1e6)
+		return s
+	}
+	tp := topo.Uniform(2, 2)
+	tp.FabricGBs = 200
+	tp.Oversub = 1
+	shared := mustRunMakespan(t, build(tp))
+	flat := mustRunMakespan(t, build(nil))
+	if !(shared > flat) {
+		t.Fatalf("two flows through one fabric link (%g) must be slower than flat (%g)", shared, flat)
+	}
+}
+
+// TestLinkBusyFabricShare: a collective participant's cross-node
+// fraction — (N−k)/(N−1) of its traffic — transits its node's fabric
+// link; with a constrained fabric that share saturates the link and the
+// collective slows relative to flat.
+func TestLinkBusyFabricShare(t *testing.T) {
+	build := func(tp *topo.Topology) *Sim {
+		s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16, Policy: FairShare})
+		if err := s.SetTopology(tp); err != nil {
+			t.Fatalf("SetTopology: %v", err)
+		}
+		for g := 0; g < 4; g++ {
+			s.AddLinkBusy(fmt.Sprintf("a2a%d", g), g, 1e6)
+		}
+		return s
+	}
+	tp := topo.Uniform(2, 2)
+	tp.FabricGBs = 100 // share 2 × crossFrac 2/3 × 2 GPUs/node = 8/3 demand per link
+	topod := mustRunMakespan(t, build(tp))
+	flat := mustRunMakespan(t, build(nil))
+	if !(topod > flat) {
+		t.Fatalf("collective over constrained fabric (%g) must be slower than flat (%g)", topod, flat)
+	}
+}
+
+// TestFabricWindowComposesWithOversub: a capacity window on a fabric
+// link multiplies onto the 1/Oversub base, further slowing flows inside
+// the window.
+func TestFabricWindowComposesWithOversub(t *testing.T) {
+	mk := func(window bool) float64 {
+		s := NewSim(ClusterConfig{NumGPUs: 4, LinkGBs: 200, HostCores: 16, Policy: FairShare})
+		tp := topo.Uniform(2, 2)
+		tp.FabricGBs = 200
+		tp.Oversub = 2
+		if err := s.SetTopology(tp); err != nil {
+			t.Fatalf("SetTopology: %v", err)
+		}
+		if window {
+			for node := 0; node < 2; node++ {
+				if err := s.AddCapacityWindow(ResFabric, node, 0, 1e9, 0.5); err != nil {
+					t.Fatalf("window: %v", err)
+				}
+			}
+		}
+		s.AddComm("c", 0, 2, 1e6)
+		return mustRunMakespan(t, s)
+	}
+	plain, windowed := mk(false), mk(true)
+	if !(windowed > plain) {
+		t.Fatalf("fabric window (%g) must slow the flow beyond oversub alone (%g)", windowed, plain)
+	}
+}
+
+// buildFabricDAG constructs a seeded random multi-node DAG: 2 or 4
+// NVSwitch nodes of 2 GPUs each behind a randomly constrained,
+// oversubscribed fabric, exercising every op kind with plenty of
+// cross-node traffic. The satellite cross-node equivalence matrix
+// replays it through every engine.
+func buildFabricDAG(seed int64) *Sim {
+	rng := rand.New(rand.NewSource(seed ^ 0xfab))
+	nodes := 2 + 2*rng.Intn(2)
+	gpus := 2 * nodes
+	cfg := ClusterConfig{
+		NumGPUs:   gpus,
+		LinkGBs:   100 + float64(rng.Intn(3))*100,
+		CopyGBs:   10 + float64(rng.Intn(3))*10,
+		HostCores: 8 + rng.Intn(3)*28,
+	}
+	if seed%2 == 0 {
+		cfg.Policy = FairShare
+	} else {
+		cfg.Policy = PrioritySpace
+	}
+	s := NewSim(cfg)
+	tp := topo.Uniform(nodes, 2)
+	tp.FabricGBs = 50 + float64(rng.Intn(3))*50
+	tp.Oversub = float64(1 + rng.Intn(3))
+	if err := s.SetTopology(tp); err != nil {
+		panic(err)
+	}
+
+	n := 50 + rng.Intn(50)
+	var ids []OpID
+	opts := func() []OpOption {
+		var o []OpOption
+		if rng.Intn(2) == 0 {
+			o = append(o, WithStream(fmt.Sprintf("s%d", rng.Intn(4))))
+		}
+		if len(ids) > 0 && rng.Intn(3) == 0 {
+			o = append(o, WithDeps(ids[rng.Intn(len(ids))]))
+		}
+		if rng.Intn(3) == 0 {
+			o = append(o, WithPriority(rng.Intn(3)))
+		}
+		return o
+	}
+	for i := 0; i < n; i++ {
+		var id OpID
+		switch rng.Intn(10) {
+		case 0, 1, 2: // kernels
+			id = s.AddKernel(rng.Intn(gpus), Kernel{
+				Name:   fmt.Sprintf("k%d", i),
+				Work:   rng.Float64() * 60,
+				Demand: Demand{SM: rng.Float64(), MemBW: rng.Float64()},
+				Tag:    "train",
+			}, opts()...)
+		case 3, 4, 5: // comm, biased cross-node: endpoints on distinct nodes
+			src := rng.Intn(gpus)
+			dst := (src + 2 + rng.Intn(gpus-2)) % gpus
+			id = s.AddComm(fmt.Sprintf("c%d", i), src, dst, rng.Float64()*2e6, opts()...)
+		case 6, 7: // collectives: every shard of an all-to-all
+			id = s.AddLinkBusy(fmt.Sprintf("l%d", i), rng.Intn(gpus), rng.Float64()*2e6, opts()...)
+		case 8:
+			id = s.AddHostCopy(fmt.Sprintf("h%d", i), rng.Intn(gpus), rng.Float64()*5e5, opts()...)
+		default:
+			if rng.Intn(2) == 0 {
+				id = s.AddCPU(fmt.Sprintf("p%d", i), rng.Float64()*40, 1+rng.Intn(8), opts()...)
+			} else {
+				id = s.AddBarrier(fmt.Sprintf("b%d", i), opts()...)
+			}
+		}
+		ids = append(ids, id)
+	}
+	return s
+}
+
+// TestEngineEquivalenceCrossNodeMatrix is the satellite cross-node ×
+// chaos × engine matrix: multi-node DAGs with fabric charging, crossed
+// with capacity windows (including ResFabric windows) and straggler
+// inflation, replayed through the sequential engine, the preserved
+// reference implementation, and the sharded engine at 2 and 4 shards.
+// Every cell must be field-exact.
+func TestEngineEquivalenceCrossNodeMatrix(t *testing.T) {
+	type axes struct{ windows, stragglers bool }
+	cells := []axes{{false, false}, {true, false}, {false, true}, {true, true}}
+	for _, ax := range cells {
+		for seed := 0; seed < 8; seed++ {
+			build := func() *Sim {
+				s := buildFabricDAG(int64(seed))
+				if ax.windows {
+					nodes := s.Topology().NumNodes()
+					for _, w := range []struct {
+						rc     ResourceClass
+						gpu    int
+						t0, t1 float64
+						scale  float64
+					}{
+						{ResSM, 0, 10, 150, 0.7},
+						{ResMemBW, 1, 30, 180, 0.6},
+						{ResLinkOut, 0, 0, 120, 0.5},
+						{ResLinkIn, 2, 40, 260, 0.5},
+						{ResCopyEngine, 0, 20, 100, 0.4},
+						{ResHostCPU, 0, 50, 300, 0.6},
+						{ResFabric, 0, 15, 200, 0.5},
+						{ResFabric, 0, 80, 320, 0.7}, // overlaps: scales multiply
+						{ResFabric, nodes - 1, 25, 240, 0.6},
+					} {
+						if err := s.AddCapacityWindow(w.rc, w.gpu, w.t0, w.t1, w.scale); err != nil {
+							t.Fatalf("seed %d: window %v: %v", seed, w.rc, err)
+						}
+					}
+				}
+				if ax.stragglers {
+					if _, err := s.InjectStragglers(int64(seed), 0.3, 2.5); err != nil {
+						t.Fatalf("seed %d: stragglers: %v", seed, err)
+					}
+				}
+				return s
+			}
+			want, err := build().Run()
+			if err != nil {
+				t.Fatalf("seed %d %+v: sequential: %v", seed, ax, err)
+			}
+			ref, err := referenceRun(build())
+			if err != nil {
+				t.Fatalf("seed %d %+v: reference: %v", seed, ax, err)
+			}
+			compareResults(t, seed, ref, want)
+			for _, shards := range []int{2, 4} {
+				s := build()
+				s.SetEngineOptions(EngineOptions{Shards: shards, NoRace: true})
+				got, err := s.Run()
+				if err != nil {
+					t.Fatalf("seed %d %+v shards %d: %v", seed, ax, shards, err)
+				}
+				compareResults(t, seed, got, want)
+				if got.Events != want.Events {
+					t.Errorf("seed %d %+v shards %d: %d events != sequential %d",
+						seed, ax, shards, got.Events, want.Events)
+				}
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"rap/internal/gpusim"
 	"rap/internal/mapping"
 	"rap/internal/sched"
+	"rap/internal/topo"
 )
 
 // MappingStrategy selects the inter-GPU graph mapping.
@@ -441,6 +442,17 @@ func (f *Framework) Execute(p *ExecPlan, iterations int) (*sched.PipelineStats, 
 // before simulation. A nil (or empty) plan makes this identical to
 // Execute.
 func (f *Framework) ExecuteChaos(p *ExecPlan, iterations int, cp *chaos.Plan) (*sched.PipelineStats, error) {
+	return f.ExecuteTopo(p, iterations, nil, cp)
+}
+
+// ExecuteTopo is the most general execution entry point: the plan runs
+// on a cluster whose GPUs are grouped by the given hierarchical
+// topology (nil for flat), under an optional perturbation plan. The
+// topology is an execution-time argument rather than a BuildOptions
+// field on purpose: plans are cached by their build inputs, and a plan
+// built once can be simulated on any fleet slice (the cluster simulator
+// runs one cached plan across many node-spanning allocations).
+func (f *Framework) ExecuteTopo(p *ExecPlan, iterations int, tp *topo.Topology, cp *chaos.Plan) (*sched.PipelineStats, error) {
 	streams := 1
 	if p.Opts.NaiveSchedule && !p.Opts.SequentialPreproc && p.Opts.PreprocPriority >= 1 {
 		// The MPS baseline's preprocessing process runs 8 workers, all
@@ -455,6 +467,7 @@ func (f *Framework) ExecuteChaos(p *ExecPlan, iterations int, cp *chaos.Plan) (*
 		PreprocPriority:   p.Opts.PreprocPriority,
 		PreprocStreams:    streams,
 		Chaos:             cp,
+		Topology:          tp,
 		Engine:            p.Opts.Engine,
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"rap/internal/chaos"
 	"rap/internal/dlrm"
 	"rap/internal/gpusim"
+	"rap/internal/topo"
 )
 
 // GPUWork is the per-GPU, per-batch preprocessing workload handed to the
@@ -73,6 +74,13 @@ type PipelineOptions struct {
 	// pipeline DAG before simulation. A nil or empty plan leaves the
 	// simulation bit-identical to an unperturbed run.
 	Chaos *chaos.Plan
+	// Topology, when non-nil, groups the cluster's GPUs into NVSwitch
+	// nodes behind an oversubscribed inter-node fabric (internal/topo):
+	// cross-node transfers and the cross-node share of collectives
+	// additionally charge per-node fabric links. Nil — or a flat
+	// topology — leaves the simulation bit-identical to an
+	// untopologized run.
+	Topology *topo.Topology
 	// Engine selects the simulator event engine. The zero value keeps
 	// the sequential engine; Engine.Shards > 1 opts into the sharded
 	// parallel engine. Engine selection is a pure performance knob:
@@ -212,8 +220,14 @@ func newPipelineBuilder(cluster gpusim.ClusterConfig, cfg dlrm.Config, pl dlrm.P
 	if err != nil {
 		return nil, err
 	}
+	sim := gpusim.NewSim(cluster)
+	// The topology must be installed before the first op: fabric demands
+	// are resolved at add time.
+	if err := sim.SetTopology(opts.Topology); err != nil {
+		return nil, err
+	}
 	b := &pipelineBuilder{
-		sim:     gpusim.NewSim(cluster),
+		sim:     sim,
 		tmpl:    tmpl,
 		work:    work,
 		opts:    opts,

@@ -37,4 +37,9 @@ echo "== shard-equivalence smoke"
 # to a sequential run; rapbench exits nonzero on any drift, so tier-1
 # fails fast if the parallel engine diverges from the sequential one.
 go run ./cmd/rapbench -shard-smoke
+echo "== cluster-smoke"
+# The fleet simulator (2 nodes x 4 GPUs, 6 jobs, both placement
+# policies) must reproduce its report digests bit-identically across two
+# from-scratch runs; rapbench exits nonzero on any drift.
+go run ./cmd/rapbench -cluster-smoke
 echo "verify: OK"
