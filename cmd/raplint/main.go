@@ -7,24 +7,32 @@
 // keep the //lint:ignore inventory honest; the v3 flow-sensitive
 // analyzers — dimcheck, floatreduce — propagate `//rap:unit`
 // dimensions through an SSA value-flow layer and flag float
-// accumulations whose order is not statically deterministic (see
-// internal/lint and DESIGN.md §6).
+// accumulations whose order is not statically deterministic; and the
+// v4 concurrency-soundness analyzers — lockorder, atomicplain,
+// wgcheck, goroutineleak — find lock-order cycles across the call
+// graph, mixed atomic/plain access to the same word, WaitGroup misuse,
+// and goroutines that can block forever (see internal/lint and
+// DESIGN.md §6).
 //
 // Usage:
 //
 //	go run ./cmd/raplint [flags] [packages]   # default ./...
 //	go run ./cmd/raplint -list                # describe the analyzers
+//	go run ./cmd/raplint -check-report FILE   # gate on a prior -json report
 //
 // Flags:
 //
-//	-json FILE        write a machine-readable report (findings + stats); "-" for stdout
-//	-sarif FILE       write a SARIF 2.1.0 log; "-" for stdout
-//	-timing           print per-analyzer wall time and cache stats to stderr
-//	-nocache          disable the per-package content-hash result cache
-//	-cache-dir D      override the cache directory (default per-user cache)
-//	-jobs N           concurrent package analysis (default GOMAXPROCS)
-//	-legacy-unitmix   also run the retired v1 unitmix analyzer (dimcheck
-//	                  subsumes it; the flag exists for comparison runs)
+//	-json FILE         write a machine-readable report (findings + stats); "-" for stdout
+//	-sarif FILE        write a SARIF 2.1.0 log; "-" for stdout
+//	-check-report FILE gate mode: read a previously written -json report
+//	                   and exit 1 if it carries findings, 2 if it is not
+//	                   a raplint report; no analysis is run
+//	-timing            print per-analyzer wall time and cache stats to stderr
+//	-nocache           disable the per-package content-hash result cache
+//	-cache-dir D       override the cache directory (default per-user cache)
+//	-jobs N            concurrent package analysis (default GOMAXPROCS)
+//	-legacy-unitmix    also run the retired v1 unitmix analyzer (dimcheck
+//	                   subsumes it; the flag exists for comparison runs)
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings can
 // be suppressed with `//lint:ignore <analyzer> <reason>` on or above
@@ -53,7 +61,13 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "cache directory (default: per-user cache)")
 	jobs := flag.Int("jobs", 0, "concurrent package analysis (default GOMAXPROCS)")
 	legacyUnitmix := flag.Bool("legacy-unitmix", false, "also run the retired v1 unitmix analyzer (subsumed by dimcheck)")
+	checkReport := flag.String("check-report", "", "gate on a previously written -json report instead of analyzing")
 	flag.Parse()
+
+	if *checkReport != "" {
+		runCheckReport(*checkReport)
+		return
+	}
 
 	analyzers := lint.All()
 	if *legacyUnitmix {
@@ -102,6 +116,31 @@ func main() {
 	}
 }
 
+// runCheckReport is the CI gate: decode an existing lint-report
+// artifact and exit 1 if it carries findings (printing them), 2 if the
+// file is missing or not a raplint report. A broken artifact must fail
+// the gate — the grep this replaces treated it as clean.
+func runCheckReport(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raplint:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	lines, err := lint.CheckReport(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raplint: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(lines) > 0 {
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Fprintf(os.Stderr, "raplint: %s carries %d finding(s)\n", path, len(lines))
+		os.Exit(1)
+	}
+}
+
 func writeReport(path string, write func(*os.File) error) error {
 	if path == "" {
 		return nil
@@ -121,8 +160,8 @@ func writeReport(path string, write func(*os.File) error) error {
 }
 
 func printTiming(stats *lint.Stats) {
-	fmt.Fprintf(os.Stderr, "raplint: %d packages (%d cached) in %s (load %s, analyze %s, ssa build %s)\n",
-		stats.Packages, stats.CacheHits, round(stats.Total), round(stats.Load), round(stats.Analyze), round(stats.SSABuild))
+	fmt.Fprintf(os.Stderr, "raplint: %d packages (%d cached) in %s (load %s, analyze %s, ssa build %s, conc build %s)\n",
+		stats.Packages, stats.CacheHits, round(stats.Total), round(stats.Load), round(stats.Analyze), round(stats.SSABuild), round(stats.ConcBuild))
 	names := make([]string, 0, len(stats.PerAnalyzer))
 	for name := range stats.PerAnalyzer {
 		names = append(names, name)

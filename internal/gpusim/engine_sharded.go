@@ -186,6 +186,10 @@ type shardedEngine struct {
 	fabricBase  int
 	fabricOwner []int
 
+	// Commit-window state: like cont/runErr below, now/done/events are
+	// written only by worker 0 in its exclusive commit window (the
+	// advance->commit barrier gap) and read by every worker in the next
+	// phase, after the commit barrier publishes them.
 	now    float64
 	done   int
 	events int

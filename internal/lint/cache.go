@@ -23,7 +23,7 @@ import (
 // its dependency closure — exactly what the hash covers — so a cache
 // hit is a proof that re-running dimcheck/floatreduce would reproduce
 // the stored findings, and warm runs skip SSA construction entirely.
-const lintVersion = "3"
+const lintVersion = "4"
 
 // cacheEntry is one package's persisted analysis result. Findings
 // exclude the whole-run unusedignore check (recomputed every run);

@@ -53,7 +53,7 @@ type funcNode struct {
 	obj           *types.Func
 	decl          *ast.FuncDecl
 	pkg           *Package
-	deterministic bool         // carries //rap:deterministic in its doc comment
+	deterministic bool          // carries //rap:deterministic in its doc comment
 	callees       []*types.Func // static call edges, source order, deduped
 	taints        []taintSite
 }
@@ -78,6 +78,11 @@ type Program struct {
 	// the first dimcheck pass — fully cache-warm runs never pay for it.
 	dimOnce sync.Once
 	dim     *dimFacts
+
+	// conc is the v4 concurrency fact base (see conc.go), built lazily
+	// by the first v4 pass — fully cache-warm runs never pay for it.
+	concOnce sync.Once
+	conc     *concFacts
 }
 
 // NewProgram joins type-checked packages into a Program, building the

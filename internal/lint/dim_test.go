@@ -134,8 +134,8 @@ func TestDimFlowCrossPackage(t *testing.T) {
 	for _, f := range findings {
 		for _, part := range []string{
 			`//rap:unit bytes on "Payload"`, // the seed (canonical spelling)
-			`assigned to "total"`,       // the intermediate def edge
-			"annotation at pool.go:",    // the violated contract
+			`assigned to "total"`,           // the intermediate def edge
+			"annotation at pool.go:",        // the violated contract
 		} {
 			if !strings.Contains(f.Message, part) {
 				t.Errorf("finding should carry the flow path element %q, got: %v", part, f)

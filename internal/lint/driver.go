@@ -37,7 +37,11 @@ type Stats struct {
 	// (ssa.go), paid inside the first dimcheck pass of a run; zero on
 	// fully warm runs, which never build them.
 	SSABuild time.Duration
-	Total    time.Duration
+	// ConcBuild is the one-time construction of the v4 concurrency
+	// facts (conc.go), paid inside the first v4 pass of a run; zero on
+	// fully warm runs, which never build them.
+	ConcBuild time.Duration
+	Total     time.Duration
 	// PerAnalyzer is wall time attributed to each analyzer, summed
 	// across packages (concurrent passes may sum past Analyze).
 	PerAnalyzer map[string]time.Duration
@@ -173,6 +177,7 @@ func RunWithOptions(o Options) ([]Finding, *Stats, error) {
 		}
 		wg.Wait()
 		stats.SSABuild = prog.DimFactsBuildTime()
+		stats.ConcBuild = prog.ConcFactsBuildTime()
 	} else {
 		analyzeStart = timings.start()
 	}
@@ -192,7 +197,11 @@ func RunWithOptions(o Options) ([]Finding, *Stats, error) {
 		declsByPkg = append(declsByPkg, r.decls)
 	}
 	if checkUnused {
-		findings = append(findings, unusedIgnoreFindings(declsByPkg, used)...)
+		known := map[string]bool{}
+		for _, a := range o.Analyzers {
+			known[a.Name] = true
+		}
+		findings = append(findings, unusedIgnoreFindings(declsByPkg, used, known)...)
 	}
 	SortFindings(findings)
 

@@ -1,0 +1,393 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak reports goroutines that can block forever on a channel
+// the rest of the program will never service:
+//
+//   - A goroutine sends on (or receives from) a locally-made channel
+//     with no counterpart operation outside the goroutine. Counterparts
+//     are found in the enclosing function, in sibling goroutines, in
+//     select clauses, and — through the call graph — in callees the
+//     channel is forwarded to.
+//   - The only counterpart sits after a return statement that can fire
+//     between the go statement and the counterpart, so an early exit
+//     strands the goroutine ("the early-returnable path").
+//   - A goroutine spins in a condition-less for loop containing no
+//     return, break, select, channel operation, or call — nothing in
+//     the loop can ever observe a stop signal.
+//
+// The analysis is deliberately conservative about aliasing: a channel
+// whose identity escapes the function (stored in a struct, returned,
+// passed to a function with no channel facts) is not tracked. Buffered
+// channels suppress send-blocking reports; receives on them are still
+// checked, since an empty buffer blocks like an unbuffered channel.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "goroutine that can block forever on a channel with no live counterpart",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	facts := p.Prog.concFacts()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLeaks(p, facts, fd)
+				checkSpinLoops(p, fd)
+			}
+		}
+	}
+}
+
+// goSpan is the extent of one goroutine launched in the function: the
+// body of a go-closure, or the whole go statement for `go callee(ch)`.
+type goSpan struct {
+	lo, hi token.Pos
+	goPos  token.Pos // position of the go statement itself
+}
+
+// chanOpSite is one send/receive/range/close on a tracked channel.
+type chanOpSite struct {
+	pos  token.Pos
+	op   string // "send", "receive", "range", "close"
+	span int    // index into spans, or -1 for the enclosing function
+	sel  bool   // inside a select statement (counterpart, never a leak)
+}
+
+// chanInfo tracks one locally-made channel through the function.
+type chanInfo struct {
+	obj      types.Object
+	buffered bool
+	capConst int64
+	capKnown bool
+	escaped  bool
+	ops      []chanOpSite
+}
+
+func checkLeaks(p *Pass, facts *concFacts, fd *ast.FuncDecl) {
+	info := p.Info
+
+	// Locally-made channels: ch := make(chan T[, n]) with ch defined in
+	// this assignment.
+	chans := map[types.Object]*chanInfo{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			mk, ok := call.Fun.(*ast.Ident)
+			if !ok || mk.Name != "make" {
+				continue
+			}
+			if _, isBuiltin := info.Uses[mk].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			ci := &chanInfo{obj: obj}
+			if len(call.Args) >= 2 {
+				ci.buffered = true
+				if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if v, ok := constant.Int64Val(tv.Value); ok {
+						ci.capConst, ci.capKnown = v, true
+						ci.buffered = v > 0
+					}
+				}
+			}
+			chans[obj] = ci
+		}
+		return true
+	})
+	if len(chans) == 0 {
+		return
+	}
+
+	// Goroutine extents, plus interprocedural ops for `go callee(ch)`.
+	var spans []goSpan
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			spans = append(spans, goSpan{lo: lit.Pos(), hi: lit.End(), goPos: gs.Go})
+			return true
+		}
+		// `go callee(ch)`: the span covers the whole statement, so the
+		// channel-argument classification below attributes the callee's
+		// channel facts to this goroutine.
+		spans = append(spans, goSpan{lo: gs.Pos(), hi: gs.End(), goPos: gs.Go})
+		return true
+	})
+	spanOf := func(pos token.Pos) int {
+		// Innermost (latest-starting) span containing pos.
+		best, bestLo := -1, token.NoPos
+		for i, s := range spans {
+			if s.lo <= pos && pos < s.hi && s.lo >= bestLo {
+				best, bestLo = i, s.lo
+			}
+		}
+		return best
+	}
+
+	// Select extents, to mark ops that have alternatives.
+	var selSpans [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectStmt); ok {
+			selSpans = append(selSpans, [2]token.Pos{s.Pos(), s.End()})
+		}
+		return true
+	})
+	inSelect := func(pos token.Pos) bool {
+		for _, s := range selSpans {
+			if s[0] <= pos && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Classify every occurrence of each tracked channel. Occurrences
+	// that are not a recognized operation (or a harmless len/cap or a
+	// forward to a callee with channel facts) escape the channel.
+	handled := map[token.Pos]string{} // ident pos -> op ("" = harmless)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Chan).(*ast.Ident); ok && chans[info.Uses[id]] != nil {
+				handled[id.Pos()] = "send"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && chans[info.Uses[id]] != nil {
+					handled[id.Pos()] = "receive"
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && chans[info.Uses[id]] != nil {
+				handled[id.Pos()] = "range"
+			}
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin {
+					if len(n.Args) == 1 {
+						if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok && chans[info.Uses[id]] != nil {
+							switch fn.Name {
+							case "close":
+								handled[id.Pos()] = "close"
+							case "len", "cap":
+								handled[id.Pos()] = ""
+							}
+						}
+					}
+					return true
+				}
+			}
+			callee := calleeOf(info, n)
+			for argPos, arg := range n.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok || chans[info.Uses[id]] == nil {
+					continue
+				}
+				if callee != nil {
+					for _, op := range facts.chanParamOps[callee] {
+						if op.idx == argPos {
+							handled[id.Pos()] = op.op
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		ci := chans[obj]
+		if ci == nil {
+			return true
+		}
+		op, ok := handled[id.Pos()]
+		if !ok {
+			ci.escaped = true
+			return true
+		}
+		if op != "" {
+			ci.ops = append(ci.ops, chanOpSite{pos: id.Pos(), op: op, span: spanOf(id.Pos()), sel: inSelect(id.Pos())})
+		}
+		return true
+	})
+
+	for _, ci := range sortedChans(chans) {
+		if ci.escaped {
+			continue
+		}
+		checkChannel(p, fd, spans, ci)
+	}
+}
+
+// sortedChans returns the channel infos in declaration order.
+func sortedChans(chans map[types.Object]*chanInfo) []*chanInfo {
+	out := make([]*chanInfo, 0, len(chans))
+	for _, ci := range chans {
+		out = append(out, ci)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].obj.Pos() < out[j-1].obj.Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func checkChannel(p *Pass, fd *ast.FuncDecl, spans []goSpan, ci *chanInfo) {
+	sends := 0
+	for _, o := range ci.ops {
+		if o.op == "send" {
+			sends++
+		}
+	}
+	for _, o := range ci.ops {
+		if o.span < 0 || o.sel || o.op == "close" {
+			continue // only select-free goroutine ops can strand the goroutine
+		}
+		if o.op == "send" && ci.buffered && (!ci.capKnown || int64(sends) <= ci.capConst) {
+			continue // the buffer absorbs every send
+		}
+		var compat map[string]bool
+		var want string
+		if o.op == "send" {
+			compat = map[string]bool{"receive": true, "range": true}
+			want = "receive"
+		} else {
+			compat = map[string]bool{"send": true, "close": true}
+			want = "send or close"
+		}
+		verb := "receives from"
+		if o.op == "send" {
+			verb = "sends on"
+		}
+
+		safe := false
+		earliest := token.NoPos
+		for _, c := range ci.ops {
+			if c.span == o.span || !compat[c.op] {
+				continue
+			}
+			// A counterpart in another goroutine, or one already past
+			// before the go statement runs, always services the op.
+			if c.span >= 0 || c.pos < spans[o.span].goPos {
+				safe = true
+				break
+			}
+			if earliest == token.NoPos || c.pos < earliest {
+				earliest = c.pos
+			}
+		}
+		if safe {
+			continue
+		}
+		if earliest == token.NoPos {
+			p.Report(o.pos, "goroutine %s %q but nothing outside the goroutine will ever %s; it blocks forever",
+				verb, ci.obj.Name(), want)
+			continue
+		}
+		// The only counterparts come after the go statement: a return
+		// in between strands the goroutine.
+		if ret := returnBetween(fd.Body, spans[o.span], earliest); ret != nil {
+			p.Report(o.pos, "goroutine %s %q but the only matching %s is after the return at %s, which leaks the goroutine",
+				verb, ci.obj.Name(), want, shortPos(p.Fset, ret.Pos()))
+		}
+	}
+}
+
+// returnBetween finds a return statement in the enclosing function
+// (outside nested function literals) positioned after the goroutine's go
+// statement and fully before pos.
+func returnBetween(body *ast.BlockStmt, span goSpan, pos token.Pos) *ast.ReturnStmt {
+	var found *ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if ret.Pos() >= span.hi && ret.End() < pos {
+				found = ret
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkSpinLoops flags condition-less for loops in go-closures with no
+// way to observe a stop signal: no return, break, select, channel
+// operation, or call anywhere in the loop body.
+func checkSpinLoops(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			loop, ok := m.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			exits := false
+			ast.Inspect(loop.Body, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.ReturnStmt, *ast.SelectStmt, *ast.CallExpr, *ast.SendStmt, *ast.RangeStmt:
+					exits = true
+				case *ast.BranchStmt:
+					if x.Tok == token.BREAK || x.Tok == token.GOTO {
+						exits = true
+					}
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW {
+						exits = true
+					}
+				}
+				return !exits
+			})
+			if !exits {
+				p.Report(loop.For, "goroutine spins in a loop with no stop check, blocking operation, or call; it can neither stop nor yield")
+			}
+			return true
+		})
+		return true
+	})
+}

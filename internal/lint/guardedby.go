@@ -71,6 +71,12 @@ type heldWalker struct {
 	onSel func(sel *ast.SelectorExpr, held map[string]bool)
 	// onWrite is called for the target of every assignment or ++/--.
 	onWrite func(target ast.Expr, held map[string]bool)
+	// onLock is called for every Lock/RLock acquisition, before the
+	// receiver joins the held set (so held is the set at acquisition).
+	onLock func(sel *ast.SelectorExpr, name string, held map[string]bool)
+	// onCall is called for every non-lock-method call expression with
+	// the held set at the call site.
+	onCall func(call *ast.CallExpr, held map[string]bool)
 }
 
 func (w *heldWalker) stmts(list []ast.Stmt, held map[string]bool) {
@@ -216,11 +222,17 @@ func (w *heldWalker) expr(e ast.Expr, held map[string]bool) {
 			key := types.ExprString(sel.X)
 			switch name {
 			case "Lock", "RLock":
+				if w.onLock != nil {
+					w.onLock(sel, name, held)
+				}
 				held[key] = true
 			case "Unlock", "RUnlock":
 				delete(held, key)
 			}
 			return
+		}
+		if w.onCall != nil {
+			w.onCall(e, held)
 		}
 		w.expr(e.Fun, held)
 		for _, a := range e.Args {

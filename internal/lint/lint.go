@@ -64,6 +64,7 @@ func All() []*Analyzer {
 		MapOrder, SeededRand, FloatEq, PanicPath,
 		Detaint, GuardedBy, GoroutineCapture,
 		DimCheck, FloatReduce, UnusedIgnore,
+		LockOrder, AtomicPlain, WGCheck, GoroutineLeak,
 	}
 }
 

@@ -186,12 +186,37 @@ func stale(a, b int) bool {
 	for _, d := range prog.ignores[pkg.Path].all {
 		decls = append(decls, d.ref())
 	}
-	fs := unusedIgnoreFindings([][]IgnoreRef{decls}, usedMap)
+	fs := unusedIgnoreFindings([][]IgnoreRef{decls}, usedMap, map[string]bool{"floateq": true})
 	if len(fs) != 1 {
 		t.Fatalf("got %d unusedignore findings, want 1: %v", len(fs), fs)
 	}
 	if fs[0].Pos.Line != 9 || !strings.Contains(fs[0].Message, "suppresses no finding") {
 		t.Fatalf("unexpected unusedignore finding: %v", fs[0])
+	}
+}
+
+// TestUnusedIgnoreUnknownAnalyzer: a directive naming an analyzer that
+// is not registered gets the distinct unknown-analyzer message.
+func TestUnusedIgnoreUnknownAnalyzer(t *testing.T) {
+	pkg := inlinePackage(t, "rap/internal/inline", `package p
+
+func f(a, b int) bool {
+	//lint:ignore floatqe typo for floateq; can never fire
+	return a == b
+}
+`)
+	prog := NewProgram([]*Package{pkg})
+	var decls []IgnoreRef
+	for _, d := range prog.ignores[pkg.Path].all {
+		decls = append(decls, d.ref())
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	fs := unusedIgnoreFindings([][]IgnoreRef{decls}, map[IgnoreRef]bool{}, known)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "unknown analyzer floatqe") {
+		t.Fatalf("want one unknown-analyzer finding, got %v", fs)
 	}
 }
 
@@ -239,6 +264,9 @@ func TestCacheWarmRun(t *testing.T) {
 	if s1.SSABuild == 0 {
 		t.Error("cold run must build the SSA value-flow facts (dimcheck ran)")
 	}
+	if s1.ConcBuild == 0 {
+		t.Error("cold run must build the concurrency facts (the v4 analyzers ran)")
+	}
 	warm, s2, err := RunWithOptions(opts)
 	if err != nil {
 		t.Fatalf("warm run: %v", err)
@@ -248,6 +276,9 @@ func TestCacheWarmRun(t *testing.T) {
 	}
 	if s2.SSABuild != 0 {
 		t.Errorf("fully warm run must not construct SSA facts, spent %s building them", s2.SSABuild)
+	}
+	if s2.ConcBuild != 0 {
+		t.Errorf("fully warm run must not construct concurrency facts, spent %s building them", s2.ConcBuild)
 	}
 	if len(cold) != len(warm) {
 		t.Fatalf("warm findings diverge: cold %v, warm %v", cold, warm)

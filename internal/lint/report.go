@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"path/filepath"
 	"runtime"
@@ -33,13 +34,17 @@ type jsonFinding struct {
 }
 
 type jsonStats struct {
-	Packages   int              `json:"packages"`
-	CacheHits  int              `json:"cacheHits"`
-	LoadMs     float64          `json:"loadMs"`
-	AnalyzeMs  float64          `json:"analyzeMs"`
-	SSABuildMs float64          `json:"ssaBuildMs"`
-	TotalMs    float64          `json:"totalMs"`
-	AnalyzerMs map[string]float64 `json:"analyzerMs,omitempty"`
+	Packages    int                `json:"packages"`
+	CacheHits   int                `json:"cacheHits"`
+	LoadMs      float64            `json:"loadMs"`
+	AnalyzeMs   float64            `json:"analyzeMs"`
+	SSABuildMs  float64            `json:"ssaBuildMs"`
+	ConcBuildMs float64            `json:"concBuildMs"`
+	TotalMs     float64            `json:"totalMs"`
+	AnalyzerMs  map[string]float64 `json:"analyzerMs,omitempty"`
+	// FindingsByAnalyzer counts this run's findings per analyzer, so
+	// dashboards can trend analyzer yield without re-parsing findings.
+	FindingsByAnalyzer map[string]int `json:"findingsByAnalyzer,omitempty"`
 }
 
 type jsonReport struct {
@@ -69,22 +74,50 @@ func WriteJSONReport(w io.Writer, root string, findings []Finding, stats *Stats)
 	}
 	if stats != nil {
 		js := &jsonStats{
-			Packages:   stats.Packages,
-			CacheHits:  stats.CacheHits,
-			LoadMs:     float64(stats.Load.Microseconds()) / 1e3,
-			AnalyzeMs:  float64(stats.Analyze.Microseconds()) / 1e3,
-			SSABuildMs: float64(stats.SSABuild.Microseconds()) / 1e3,
-			TotalMs:    float64(stats.Total.Microseconds()) / 1e3,
-			AnalyzerMs: map[string]float64{},
+			Packages:    stats.Packages,
+			CacheHits:   stats.CacheHits,
+			LoadMs:      float64(stats.Load.Microseconds()) / 1e3,
+			AnalyzeMs:   float64(stats.Analyze.Microseconds()) / 1e3,
+			SSABuildMs:  float64(stats.SSABuild.Microseconds()) / 1e3,
+			ConcBuildMs: float64(stats.ConcBuild.Microseconds()) / 1e3,
+			TotalMs:     float64(stats.Total.Microseconds()) / 1e3,
+			AnalyzerMs:  map[string]float64{},
 		}
 		for name, d := range stats.PerAnalyzer {
 			js.AnalyzerMs[name] = float64(d.Microseconds()) / 1e3
+		}
+		if len(findings) > 0 {
+			js.FindingsByAnalyzer = map[string]int{}
+			for _, f := range findings {
+				js.FindingsByAnalyzer[f.Analyzer]++
+			}
 		}
 		rep.Stats = js
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// CheckReport decodes a lint-report JSON artifact written by
+// WriteJSONReport and returns its findings rendered one per line
+// ("file:line:col: message [analyzer]") — the raplint -check-report CI
+// gate, replacing fragile textual greps over the artifact. An error
+// means the file is not a raplint report (or is truncated), which a
+// gate must treat as failure, not as cleanliness.
+func CheckReport(r io.Reader) ([]string, error) {
+	var rep jsonReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("not a raplint report: %w", err)
+	}
+	if rep.RaplintVersion == "" {
+		return nil, fmt.Errorf("not a raplint report: missing raplintVersion")
+	}
+	lines := make([]string, 0, len(rep.Findings))
+	for _, f := range rep.Findings {
+		lines = append(lines, fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Column, f.Message, f.Analyzer))
+	}
+	return lines, nil
 }
 
 // SARIF 2.1.0 skeleton — the subset CI annotation surfaces consume.

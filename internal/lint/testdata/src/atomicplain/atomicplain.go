@@ -1,0 +1,31 @@
+// Package atomfix exercises the atomicplain analyzer: words accessed
+// both through sync/atomic and through plain loads/stores.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want "plain access"
+}
+
+func (c *counter) reset() {
+	c.n = 0 // want "plain access"
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func snapshot() int64 {
+	return hits // want "plain access"
+}

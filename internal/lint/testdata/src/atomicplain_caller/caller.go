@@ -1,0 +1,14 @@
+// Package atomcaller reads a field its dependency only ever touches
+// atomically: the plain load is invisible without the dependency's
+// atomic-access facts.
+package atomcaller
+
+import "rap/internal/atomlib"
+
+func Peek(s *atomlib.Stat) int64 {
+	return s.N // want "plain access"
+}
+
+func Sum(s *atomlib.Stat) int64 {
+	return atomlib.Load(s) // atomic accessor: silent
+}

@@ -1,0 +1,18 @@
+// Package atomlib is the dependency half of the atomicplain
+// cross-package fixture: its atomic accesses taint the counter field
+// for every dependent package.
+package atomlib
+
+import "sync/atomic"
+
+type Stat struct {
+	N int64
+}
+
+func Bump(s *Stat) {
+	atomic.AddInt64(&s.N, 1)
+}
+
+func Load(s *Stat) int64 {
+	return atomic.LoadInt64(&s.N)
+}

@@ -1,0 +1,62 @@
+// Package atomokfix holds atomic/plain mixes that must stay silent:
+// plain access under a mutex, lock-taking functions, `guarded by`
+// contract fields, defining occurrences, and atomic-only objects.
+package atomokfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gauge struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (g *gauge) fastInc() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+// read holds the mutex across the plain load: a dominating lock orders
+// it against the atomics, so no finding.
+func (g *gauge) read() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+type contract struct {
+	mu sync.Mutex
+	// guarded by mu
+	lvl int64
+}
+
+func (c *contract) touch() {
+	atomic.AddInt64(&c.lvl, 1)
+	_ = c.lvl // guardedby's jurisdiction, not atomicplain's
+}
+
+var ticks int64
+
+func tick() {
+	atomic.AddInt64(&ticks, 1)
+}
+
+// drainTicks takes a lock somewhere in the body; its bare-identifier
+// plain access is assumed lock-disciplined.
+var tickMu sync.Mutex
+
+func drainTicks() int64 {
+	tickMu.Lock()
+	defer tickMu.Unlock()
+	v := ticks
+	ticks = 0
+	return v
+}
+
+// onlyAtomic is never accessed plainly: silent.
+var onlyAtomic int64
+
+func bumpOnly() {
+	atomic.AddInt64(&onlyAtomic, 1)
+}

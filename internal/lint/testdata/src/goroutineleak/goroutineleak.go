@@ -1,0 +1,38 @@
+// Package leakfix exercises the goroutineleak analyzer: goroutines
+// blocked forever on channels nothing will service.
+package leakfix
+
+func compute() int { return 42 }
+
+func leakNoReceiver() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{} // want "blocks forever"
+	}()
+}
+
+func leakEarlyReturn(fast bool) int {
+	res := make(chan int)
+	go func() {
+		res <- compute() // want "leaks the goroutine"
+	}()
+	if fast {
+		return 0
+	}
+	return <-res
+}
+
+func leakNoSender() {
+	ready := make(chan struct{})
+	go func() {
+		<-ready // want "blocks forever"
+	}()
+}
+
+func leakSpin(counter *int) {
+	go func() {
+		for { // want "spins in a loop"
+			*counter++
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+// Package leakcaller spawns a dependency function on a channel nothing
+// else touches: without the callee's channel facts the spawned send is
+// invisible.
+package leakcaller
+
+import "rap/internal/leaklib"
+
+func StartNoReceiver() {
+	ch := make(chan int)
+	go leaklib.Pump(ch) // want "blocks forever"
+}
+
+func StartPaired() {
+	ch := make(chan int)
+	go leaklib.Pump(ch)
+	leaklib.Drain(ch) // the callee's receive services the send: silent
+}

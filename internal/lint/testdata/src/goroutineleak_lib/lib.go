@@ -1,0 +1,12 @@
+// Package leaklib is the dependency half of the goroutineleak
+// cross-package fixture: Pump's send on its channel parameter is the
+// fact the caller-side analysis composes with.
+package leaklib
+
+func Pump(ch chan int) {
+	ch <- 1
+}
+
+func Drain(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,71 @@
+// Package leakokfix holds goroutine/channel shapes that must stay
+// silent: buffered sends, worker pools with close, select alternatives,
+// escaping channels, and spin loops with stop checks.
+package leakokfix
+
+func produce() int { return 7 }
+
+// bufferedResult: the buffer absorbs the send even when the early
+// return skips the receive — the goroutine terminates either way.
+func bufferedResult(fast bool) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- produce()
+	}()
+	if fast {
+		return 0
+	}
+	return <-res
+}
+
+// workerPool: unbuffered jobs serviced by a range-receiving goroutine,
+// with every send and the close ahead of any return.
+func workerPool(items []int) {
+	jobs := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+		close(done)
+	}()
+	for _, it := range items {
+		jobs <- it
+	}
+	close(jobs)
+	<-done
+}
+
+// selectSend: the select gives the goroutine an exit alternative.
+func selectSend(quit chan struct{}) {
+	out := make(chan int)
+	go func() {
+		select {
+		case out <- produce():
+		case <-quit:
+		}
+	}()
+}
+
+// escapes: the channel is returned to the caller, so its counterparts
+// are outside the analysis; stay silent.
+func escapes() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- produce()
+	}()
+	return ch
+}
+
+// stoppableLoop: the spin loop consults a stop function and returns.
+func stopped() bool { return true }
+
+func stoppableLoop() {
+	go func() {
+		for {
+			if stopped() {
+				return
+			}
+		}
+	}()
+}

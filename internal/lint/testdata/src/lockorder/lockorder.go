@@ -1,0 +1,65 @@
+// Package lockfix exercises the lockorder analyzer: the classic
+// transfer(a, b) / transfer(b, a) deadlock, plus a cycle closed through
+// a callee that acquires under a held lock.
+package lockfix
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+func transferAB(a, b *account, amt int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock order cycle"
+	defer b.mu.Unlock()
+	a.bal -= amt
+	b.bal += amt
+}
+
+func transferBA(a, b *account, amt int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.bal -= amt
+	a.bal += amt
+}
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// lookup takes idx.mu then reg.mu directly: the first half of the
+// second cycle.
+func lookup(idx *index, reg *registry) int {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	reg.mu.Lock() // want "lock order cycle"
+	defer reg.mu.Unlock()
+	return reg.items[idx.keys[0]]
+}
+
+// reindex closes the cycle interprocedurally: reg.mu is held across a
+// call to addKey, which acquires idx.mu.
+func reindex(reg *registry, idx *index) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for k := range reg.items {
+		addKey(idx, k)
+	}
+}
+
+func addKey(idx *index, k string) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	idx.keys = append(idx.keys, k)
+}

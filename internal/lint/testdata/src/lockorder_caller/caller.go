@@ -1,0 +1,26 @@
+// Package lockcaller reverses the MuA -> MuB order its dependency
+// establishes: neither package sees a cycle alone, only a whole-program
+// view of both acquisition graphs does.
+package lockcaller
+
+import (
+	"sync"
+
+	"rap/internal/locklib"
+)
+
+var mine sync.Mutex
+
+func ReverseOrder() {
+	locklib.MuB.Lock()
+	defer locklib.MuB.Unlock()
+	locklib.MuA.Lock() // want "lock order cycle"
+	defer locklib.MuA.Unlock()
+}
+
+// localOnly nests a package-local mutex under MuA in the lib's order
+// direction: consistent, so silent.
+func localOnly() {
+	mine.Lock()
+	defer mine.Unlock()
+}

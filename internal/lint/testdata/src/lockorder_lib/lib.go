@@ -1,0 +1,24 @@
+// Package locklib is the dependency half of the lockorder
+// cross-package fixture: it establishes the MuA -> MuB acquisition
+// order that the caller package reverses.
+package locklib
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+
+	countA int
+	countB int
+)
+
+// BumpBoth takes MuA then MuB: the lib's half of the cycle.
+func BumpBoth() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	MuB.Lock()
+	defer MuB.Unlock()
+	countA++
+	countB++
+}

@@ -1,0 +1,54 @@
+// Package lockokfix holds lock-ordering shapes that must stay silent:
+// a consistent global order, hand-over-hand locking, and re-acquisition
+// of the same key through aliased instances (a skipped self-edge).
+package lockokfix
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+// Both call sites take a.mu before b.mu: one order, no cycle.
+func deposit(a, b *account, amt int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.bal -= amt
+	b.bal += amt
+}
+
+func audit(a, b *account) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return a.bal + b.bal
+}
+
+// Hand-over-hand: b.mu is taken after a.mu is released, so no edge.
+func drain(a, b *account) {
+	a.mu.Lock()
+	amt := a.bal
+	a.bal = 0
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.bal += amt
+	b.mu.Unlock()
+}
+
+// swap re-acquires the same rendered key on two instances; the
+// self-edge is deliberately skipped (aliasing noise).
+func swap(a *account, other *account) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	balance(other)
+}
+
+func balance(a *account) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bal++
+}

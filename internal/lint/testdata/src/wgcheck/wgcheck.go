@@ -1,0 +1,59 @@
+// Package wgfix exercises the wgcheck analyzer: every WaitGroup misuse
+// pattern it reports.
+package wgfix
+
+import "sync"
+
+func addInsideGoroutine(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		go func() {
+			wg.Add(1) // want "Add inside the spawned goroutine"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func negativeAdd(wg *sync.WaitGroup) {
+	wg.Add(-1) // want "negative WaitGroup Add"
+}
+
+func skippableDone(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			if len(items) > 3 {
+				return
+			}
+			wg.Done() // want "Done is not reached on every path"
+		}()
+	}
+	wg.Wait()
+}
+
+// mustPositive panics on bad input: calling it before a non-deferred
+// Done makes the Done skippable on the panic path.
+func mustPositive(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+func panicSkipsDone(ns []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		mustPositive(len(ns))
+		wg.Done() // want "can panic before it runs"
+	}()
+	wg.Wait()
+}
+
+func addWithoutDone() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "no reachable Done"
+	wg.Wait()
+}

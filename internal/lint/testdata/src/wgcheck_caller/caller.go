@@ -1,0 +1,22 @@
+// Package wgcaller spawns a dependency function that Adds on the
+// WaitGroup it is handed: only the callee's parameter facts reveal that
+// the Add happens inside the spawned goroutine.
+package wgcaller
+
+import (
+	"sync"
+
+	"rap/internal/wglib"
+)
+
+func Race() {
+	var wg sync.WaitGroup
+	go wglib.Seed(&wg) // want "calls Add on the WaitGroup spawned with it"
+	wg.Wait()
+}
+
+func Straight() {
+	var wg sync.WaitGroup
+	wglib.Seed(&wg) // synchronous: the Add lands before Wait, silent
+	wg.Wait()
+}

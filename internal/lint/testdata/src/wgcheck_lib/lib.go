@@ -1,0 +1,13 @@
+// Package wglib is the dependency half of the wgcheck cross-package
+// fixture: Seed Adds on its WaitGroup parameter, so spawning it with
+// the WaitGroup races the Add against the Wait.
+package wglib
+
+import "sync"
+
+func Seed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,70 @@
+// Package wgokfix holds WaitGroup shapes that must stay silent: the
+// canonical Add-before-go with deferred Done, Done through a helper the
+// WaitGroup is forwarded to, and a WaitGroup whose address escapes.
+package wgokfix
+
+import "sync"
+
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// finish Dones on its WaitGroup parameter: forwarding &wg to it counts
+// as a reachable Done.
+func finish(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+func viaHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer finish(&wg)
+	}()
+	wg.Wait()
+}
+
+type pool struct {
+	wg *sync.WaitGroup
+}
+
+// stash takes the WaitGroup's address without Add/Done facts: the
+// WaitGroup escapes and the no-reachable-Done check stays silent.
+func stash(p *pool, wg *sync.WaitGroup) {
+	p.wg = wg
+}
+
+func escaped(p *pool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stash(p, &wg)
+	wg.Wait()
+}
+
+// deferredViaClosure: the Done lives inside a deferred closure; the
+// panic-capable call before it cannot skip a deferred Done.
+func mayFail(n int) int {
+	if n == 0 {
+		panic("zero")
+	}
+	return 10 / n
+}
+
+func deferredViaClosure(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() {
+			wg.Done()
+		}()
+		mayFail(n)
+	}()
+	wg.Wait()
+}

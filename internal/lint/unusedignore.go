@@ -22,18 +22,26 @@ var UnusedIgnore = &Analyzer{
 }
 
 // unusedIgnoreFindings computes the whole-run check: every declared
-// directive (per target package) minus the globally used set.
-func unusedIgnoreFindings(declsByPkg [][]IgnoreRef, used map[IgnoreRef]bool) []Finding {
+// directive (per target package) minus the globally used set. A
+// directive naming an analyzer that is not registered in this run gets
+// a distinct message — it is not merely stale, it never could suppress
+// anything (typo, or a directive outliving an analyzer rename) — keyed
+// off the known set so -legacy-unitmix keeps `unitmix` directives valid.
+func unusedIgnoreFindings(declsByPkg [][]IgnoreRef, used map[IgnoreRef]bool, known map[string]bool) []Finding {
 	var out []Finding
 	for _, decls := range declsByPkg {
 		for _, d := range decls {
 			if used[d] {
 				continue
 			}
+			msg := "//lint:ignore " + d.Analyzer + " suppresses no finding; delete the stale directive (or fix what it was meant to excuse)"
+			if known != nil && !known[d.Analyzer] {
+				msg = "//lint:ignore names unknown analyzer " + d.Analyzer + "; no such analyzer is registered, so the directive can never suppress anything"
+			}
 			out = append(out, Finding{
 				Analyzer: UnusedIgnore.Name,
 				Pos:      token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
-				Message:  "//lint:ignore " + d.Analyzer + " suppresses no finding; delete the stale directive (or fix what it was meant to excuse)",
+				Message:  msg,
 			})
 		}
 	}

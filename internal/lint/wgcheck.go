@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// WGCheck reports sync.WaitGroup misuse:
+//
+//   - Add inside the spawned goroutine (directly in the go-closure, or
+//     interprocedurally via `go worker(&wg)` where the callee Adds on
+//     its WaitGroup parameter): the corresponding Wait can observe a
+//     zero counter before the goroutine runs and return early.
+//   - Add with a negative constant argument: Done is the idiom, and a
+//     negative Add is how counters go negative and panic.
+//   - Done not reachable on every path of a goroutine: a non-deferred
+//     Done preceded by a return, or by a call that can panic (the
+//     call-graph extension of panicpath's local facts) — either skips
+//     the Done and deadlocks the Wait.
+//   - Add on a local WaitGroup that also Waits but has no reachable
+//     Done: not in the function body (goroutine closures included) and
+//     not via a callee that Dones on the forwarded parameter. When the
+//     WaitGroup's address escapes to a function outside the analysis,
+//     the check stays silent.
+var WGCheck = &Analyzer{
+	Name: "wgcheck",
+	Doc:  "sync.WaitGroup misuse: Add in the spawned goroutine, skippable Done, negative Add, Add with no reachable Done",
+	Run:  runWGCheck,
+}
+
+func runWGCheck(p *Pass) {
+	facts := p.Prog.concFacts()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkWGFunc(p, facts, fd)
+			}
+		}
+	}
+}
+
+// wgState aggregates one function's view of a single WaitGroup object.
+type wgState struct {
+	addPos  token.Pos // first non-negative Add outside goroutines
+	hasWait bool
+	hasDone bool
+	escaped bool // address passed to a function without Done facts
+	isLocal bool
+}
+
+func checkWGFunc(p *Pass, facts *concFacts, fd *ast.FuncDecl) {
+	info := p.Info
+	states := map[types.Object]*wgState{}
+	stateOf := func(obj types.Object) *wgState {
+		s := states[obj]
+		if s == nil {
+			s = &wgState{}
+			// Only true locals count — a WaitGroup parameter can be
+			// Done'd by whoever else shares it.
+			if v, ok := obj.(*types.Var); ok {
+				s.isLocal = v.Pos() >= fd.Body.Pos() && v.Pos() < fd.End()
+			}
+			states[obj] = s
+		}
+		return s
+	}
+
+	// goRanges marks the source ranges of goroutine closures, so Adds
+	// and Dones can be attributed to goroutine or coordinator context.
+	type span struct{ lo, hi token.Pos }
+	var goSpans []span
+	inGoroutine := func(pos token.Pos) bool {
+		for _, s := range goSpans {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			goSpans = append(goSpans, span{lit.Pos(), lit.End()})
+			checkGoroutineBody(p, facts, lit)
+		} else if callee := calleeOf(info, gs.Call); callee != nil {
+			// Interprocedural: go worker(&wg) where worker Adds on the
+			// forwarded WaitGroup parameter.
+			for argPos, arg := range gs.Call.Args {
+				obj := forwardedObject(info, arg)
+				if obj == nil || !isWaitGroup(obj.Type()) {
+					continue
+				}
+				for _, idx := range facts.addsOnParam[callee] {
+					if idx == argPos {
+						p.Report(gs.Go, "%s calls Add on the WaitGroup spawned with it; Add before the go statement so Wait cannot return early",
+							shortFuncName(callee))
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			obj := wgObject(info, sel.X)
+			if obj != nil {
+				s := stateOf(obj)
+				switch sel.Sel.Name {
+				case "Add":
+					if len(call.Args) == 1 && isNegativeConst(info, call.Args[0]) {
+						p.Report(call.Pos(), "negative WaitGroup Add; use Done (a negative counter panics)")
+						return true
+					}
+					if inGoroutine(call.Pos()) {
+						p.Report(call.Pos(), "Add inside the spawned goroutine; Add before the go statement so Wait cannot return early")
+						return true
+					}
+					if s.addPos == token.NoPos {
+						s.addPos = call.Pos()
+					}
+				case "Done":
+					s.hasDone = true
+				case "Wait":
+					s.hasWait = true
+				}
+				return true
+			}
+		}
+		// A call forwarding the WaitGroup: Done facts make the callee a
+		// Done site; anything else (or an unresolved callee) escapes it.
+		callee := calleeOf(info, call)
+		for argPos, arg := range call.Args {
+			obj := forwardedObject(info, arg)
+			if obj == nil || !isWaitGroup(obj.Type()) {
+				continue
+			}
+			s := stateOf(obj)
+			handled := false
+			if callee != nil {
+				for _, idx := range facts.donesOnParam[callee] {
+					if idx == argPos {
+						s.hasDone = true
+						handled = true
+					}
+				}
+				for _, idx := range facts.addsOnParam[callee] {
+					if idx == argPos {
+						handled = true // the callee manages the counter
+					}
+				}
+			}
+			if !handled {
+				s.escaped = true
+			}
+		}
+		return true
+	})
+
+	for _, s := range states {
+		if s.isLocal && !s.escaped && s.hasWait && !s.hasDone && s.addPos != token.NoPos {
+			p.Report(s.addPos, "WaitGroup Add with no reachable Done before Wait; the Wait blocks forever")
+		}
+	}
+}
+
+// checkGoroutineBody flags non-deferred Done calls that an earlier
+// return or a panic-capable call can skip, deadlocking the Wait.
+func checkGoroutineBody(p *Pass, facts *concFacts, lit *ast.FuncLit) {
+	info := p.Info
+	// Deferred Dones (directly or inside a deferred closure) are safe.
+	deferred := map[token.Pos]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		markDones(info, ds.Call, deferred)
+		if dl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(dl.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					markDones(info, c, deferred)
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || deferred[call.Pos()] {
+			return true
+		}
+		if wgObject(info, sel.X) == nil {
+			return true
+		}
+		if reason := skipsDone(info, facts, lit.Body, call.Pos()); reason != "" {
+			p.Report(call.Pos(), "Done is not reached on every path: %s; defer the Done instead", reason)
+		}
+		return true
+	})
+}
+
+// markDones records Done call positions rooted at call.
+func markDones(info *types.Info, call *ast.CallExpr, out map[token.Pos]bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && wgObject(info, sel.X) != nil {
+		out[call.Pos()] = true
+	}
+}
+
+// skipsDone looks for a return statement or a panic-capable call before
+// pos in the goroutine body (outside nested function literals),
+// returning a description of the skipping construct or "".
+func skipsDone(info *types.Info, facts *concFacts, body *ast.BlockStmt, pos token.Pos) string {
+	reason := ""
+	walk := func(n ast.Node) bool {
+		if n == nil || reason != "" {
+			return false
+		}
+		if n.Pos() >= pos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns do not leave the goroutine
+		case *ast.ReturnStmt:
+			reason = "a return precedes it"
+			return false
+		case *ast.CallExpr:
+			if callee := calleeOf(info, n); callee != nil && facts.mayPanic[callee] {
+				reason = shortFuncName(callee) + " can panic before it runs"
+				return false
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					reason = "a panic precedes it"
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return reason
+}
+
+// isNegativeConst reports whether e is a negative integer constant.
+func isNegativeConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v < 0
+}

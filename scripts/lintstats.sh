@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# lintstats: run raplint twice against a throwaway cache directory and
+# print cold-vs-warm timing from the JSON reports, demonstrating the
+# content-hash cache (DESIGN.md §6): the warm run must serve every
+# package from cache and skip both the SSA (v3) and concurrency (v4)
+# fact builds entirely.
+#
+# Set RAPLINT_BIN to reuse an already-built binary (verify.sh does);
+# otherwise the script builds its own.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+bin="${RAPLINT_BIN:-}"
+if [ -z "$bin" ]; then
+	bin="$work/raplint"
+	go build -o "$bin" ./cmd/raplint
+fi
+
+# field <file> <json-key>: extract a top-level numeric stats value from
+# the pretty-printed report (one key per line, so a line-match is exact).
+field() {
+	sed -n "s/^.*\"$2\": \([0-9.]*\),\{0,1\}\$/\1/p" "$1" | head -n 1
+}
+
+"$bin" -cache-dir "$work/cache" -json "$work/cold.json" ./...
+"$bin" -cache-dir "$work/cache" -json "$work/warm.json" ./...
+
+pkgs="$(field "$work/cold.json" packages)"
+for run in cold warm; do
+	rep="$work/$run.json"
+	printf '%s: total %sms (load %sms, analyze %sms, ssa build %sms, conc build %sms), %s/%s packages cached\n' \
+		"$run" "$(field "$rep" totalMs)" "$(field "$rep" loadMs)" \
+		"$(field "$rep" analyzeMs)" "$(field "$rep" ssaBuildMs)" \
+		"$(field "$rep" concBuildMs)" "$(field "$rep" cacheHits)" "$pkgs"
+done
+
+# The warm run must be fully cache-served: every package a hit, and
+# neither lazy fact base built.
+[ "$(field "$work/warm.json" cacheHits)" = "$pkgs" ] || {
+	echo "lintstats: warm run was not fully cache-served" >&2
+	exit 1
+}
+[ "$(field "$work/warm.json" ssaBuildMs)" = "0" ] || {
+	echo "lintstats: warm run rebuilt the SSA facts" >&2
+	exit 1
+}
+[ "$(field "$work/warm.json" concBuildMs)" = "0" ] || {
+	echo "lintstats: warm run rebuilt the concurrency facts" >&2
+	exit 1
+}

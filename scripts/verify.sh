@@ -2,22 +2,30 @@
 # Tier-1 verification: vet, build, lint, test.
 #
 # raplint (cmd/raplint) is this repo's own static-analysis pass; it
-# enforces the determinism and unit invariants described in DESIGN.md
-# §6 and exits nonzero on any finding.
+# enforces the determinism, unit, and concurrency-soundness invariants
+# described in DESIGN.md §6 and exits nonzero on any finding.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Build the tool binaries once; every later step reuses them instead of
+# paying a `go run` compile each time.
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
 
 echo "== go vet"
 go vet ./...
 echo "== go build"
 go build ./...
+go build -o "$bin/raplint" ./cmd/raplint
+go build -o "$bin/rapbench" ./cmd/rapbench
 echo "== raplint"
-go run ./cmd/raplint -timing -json lint-report.json ./...
+"$bin/raplint" -timing -json lint-report.json ./...
 # Belt and braces: raplint already exits nonzero on findings, but the
-# report must also record zero non-suppressed findings — this catches a
-# future exit-code regression in the driver itself.
-grep -q '"findings": \[\]' lint-report.json || {
+# written report must also decode to zero findings — -check-report
+# parses the artifact (a truncated or non-report file fails the gate,
+# where the old textual grep silently passed it).
+"$bin/raplint" -check-report lint-report.json || {
 	echo "verify: lint-report.json records non-suppressed findings" >&2
 	exit 1
 }
@@ -27,7 +35,7 @@ echo "== planner-bench smoke"
 # rapbench re-reads and unmarshals the report itself (exits nonzero on a
 # parse failure); this re-checks the file landed with the gate fields.
 tmp_bench="$(mktemp)"
-go run ./cmd/rapbench -planner-bench -quick -planner-out "$tmp_bench"
+"$bin/rapbench" -planner-bench -quick -planner-out "$tmp_bench"
 for field in sequential_build_ns fast_warm_build_ns build_speedup solver_speedup; do
 	grep -q "\"$field\"" "$tmp_bench" || { echo "verify: $tmp_bench missing $field" >&2; exit 1; }
 done
@@ -36,10 +44,14 @@ echo "== shard-equivalence smoke"
 # One 2-shard run of the shard benchmark DAG must digest bit-identically
 # to a sequential run; rapbench exits nonzero on any drift, so tier-1
 # fails fast if the parallel engine diverges from the sequential one.
-go run ./cmd/rapbench -shard-smoke
+"$bin/rapbench" -shard-smoke
 echo "== cluster-smoke"
 # The fleet simulator (2 nodes x 4 GPUs, 6 jobs, both placement
 # policies) must reproduce its report digests bit-identically across two
 # from-scratch runs; rapbench exits nonzero on any drift.
-go run ./cmd/rapbench -cluster-smoke
+"$bin/rapbench" -cluster-smoke
+echo "== lintstats"
+# Cold-vs-warm raplint timing against a throwaway cache: asserts the
+# warm run is fully cache-served (no SSA or concurrency fact builds).
+RAPLINT_BIN="$bin/raplint" ./scripts/lintstats.sh
 echo "verify: OK"
